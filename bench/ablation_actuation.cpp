@@ -1,0 +1,66 @@
+// Ablation: how much actuation fidelity costs — Xen balloon vs the
+// authors' memory hotplug vs a container (cgroup) backend, across
+// allocation window sizes.
+//
+// The paper argues RRF transfers to containers (Section V); this bench
+// quantifies the claim: containers retarget memory near-instantly, so the
+// same RRF decisions realise slightly more performance, and the gap grows
+// as windows shrink (faster decisions need faster actuators).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+
+namespace {
+using namespace rrf;
+}  // namespace
+
+int main() {
+  const sim::Scenario scenario = paper_mix_scenario(/*hosts=*/2);
+
+  TextTable table(
+      "Actuation ablation — RRF perf geomean by memory backend and window");
+  table.header({"window (s)", "balloon 0.5 GB/s", "balloon 0.05 GB/s",
+                "hotplug", "cgroup", "ideal (no actuators)"});
+
+  auto run_with = [&](double window, auto setup) {
+    sim::EngineConfig engine;
+    engine.policy = sim::PolicyKind::kRrf;
+    engine.duration = 1200.0;
+    engine.window = window;
+    setup(engine);
+    return TextTable::num(sim::run_simulation(scenario, engine).perf_geomean(),
+                          4);
+  };
+
+  for (const double window : {30.0, 10.0, 5.0, 1.0}) {
+    std::vector<std::string> row{TextTable::num(window, 0)};
+    row.push_back(run_with(window, [](sim::EngineConfig& e) {
+      e.memory_backend = hv::MemoryBackend::kBalloon;
+    }));
+    row.push_back(run_with(window, [](sim::EngineConfig& e) {
+      e.memory_backend = hv::MemoryBackend::kBalloon;
+      e.balloon_rate_gb_s = 0.05;  // pressure-stalled guest driver
+    }));
+    row.push_back(run_with(window, [](sim::EngineConfig& e) {
+      e.memory_backend = hv::MemoryBackend::kHotplug;
+    }));
+    row.push_back(run_with(window, [](sim::EngineConfig& e) {
+      e.memory_backend = hv::MemoryBackend::kCgroup;
+    }));
+    row.push_back(
+        run_with(window, [](sim::EngineConfig& e) { e.use_actuators = false; }));
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nFinding: at the paper's demand dynamics (memory moves over ~60 s\n"
+      "ramps, fractions of a GB per VM) every actuator keeps up — even a\n"
+      "10x-slower balloon — so balloon ~= cgroup ~= ideal, consistent with\n"
+      "the paper's choice of ballooning and its negligible-overhead claim.\n"
+      "Hotplug pays a small block-granularity tax.  Actuation fidelity\n"
+      "would only bind for workloads whose working set jumps by GBs within\n"
+      "an allocation window.\n";
+  return 0;
+}

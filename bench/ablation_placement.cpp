@@ -1,0 +1,93 @@
+// Ablation: the paper's reverse-skewness (Pearson correlation) VM
+// placement vs first-fit and best-fit-dominant.
+//
+// Part A — packing: how many tenants each policy admits on a fixed
+// cluster (greedy, whole-tenant admission).  Reverse skewness spreads
+// same-tenant VMs, so it can admit *fewer* tenants than a pure packer.
+//
+// Part B — quality: the same tenant set (the largest one every policy can
+// place) is run under RRF with each placement; anti-correlated
+// co-location should improve performance at equal load.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/rrf_system.hpp"
+
+namespace {
+
+using namespace rrf;
+
+const cluster::PlacementPolicy kPolicies[] = {
+    cluster::PlacementPolicy::kFirstFit,
+    cluster::PlacementPolicy::kBestFitDominant,
+    cluster::PlacementPolicy::kReverseSkewness,
+};
+
+sim::ScenarioConfig base_config(std::size_t tenants,
+                                cluster::PlacementPolicy placement) {
+  sim::ScenarioConfig config;
+  const std::vector<wl::WorkloadKind> cycle = wl::paper_workloads();
+  for (std::size_t k = 0; k < tenants; ++k) {
+    config.workloads.push_back(cycle[k % cycle.size()]);
+  }
+  config.hosts = 2;
+  config.seed = 42;
+  config.placement = placement;
+  return config;
+}
+
+/// Largest tenant count the policy fully places (greedy, in cycle order).
+std::size_t max_tenants(cluster::PlacementPolicy placement) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k <= 16; ++k) {
+    const sim::Scenario s = sim::build_scenario(base_config(k, placement));
+    if (!s.unplaced.empty()) break;
+    best = k;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Part A: packing capacity ----
+  TextTable packing("Placement ablation A — tenants packed (2 hosts)");
+  packing.header({"Placement", "tenants admitted"});
+  std::size_t common = 1000;
+  for (const cluster::PlacementPolicy placement : kPolicies) {
+    const std::size_t admitted = max_tenants(placement);
+    common = std::min(common, admitted);
+    packing.row({cluster::to_string(placement), std::to_string(admitted)});
+  }
+  packing.print(std::cout);
+
+  // ---- Part B: quality on the common tenant set ----
+  TextTable quality(
+      "Placement ablation B — RRF on the same " + std::to_string(common) +
+      "-tenant set under each placement");
+  quality.header({"Placement", "perf geomean", "beta geomean", "CPU util",
+                  "RAM util"});
+  for (const cluster::PlacementPolicy placement : kPolicies) {
+    const sim::Scenario scenario =
+        sim::build_scenario(base_config(common, placement));
+    sim::EngineConfig engine;
+    engine.duration = 1200.0;
+    engine.window = 5.0;
+    engine.policy = sim::PolicyKind::kRrf;
+    const sim::SimResult result = sim::run_simulation(scenario, engine);
+    quality.row({cluster::to_string(placement),
+                 TextTable::num(result.perf_geomean(), 3),
+                 TextTable::num(result.fairness_geomean(), 3),
+                 TextTable::pct(result.mean_utilization[0]),
+                 TextTable::pct(result.mean_utilization[1])});
+  }
+  quality.print(std::cout);
+
+  std::cout <<
+      "\nExpected shape: reverse-skewness may admit fewer tenants (it\n"
+      "spreads same-tenant VMs rather than packing tightly) but improves\n"
+      "per-tenant performance at equal load by co-locating\n"
+      "anti-correlated demand profiles — the trading opportunities RRF\n"
+      "exploits.\n";
+  return 0;
+}

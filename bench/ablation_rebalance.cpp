@@ -1,0 +1,110 @@
+// Ablation: epoch-level load balancing (paper Section V's "load
+// balancing" component).
+//
+// First-fit placement crams early hosts and leaves later ones cold.  We
+// run RRF on that placement, then let the rebalancer plan hot-to-cold
+// migrations from the measured mean demands and re-run on the migrated
+// placement.  The table shows pressure spread, performance and fairness
+// before and after.
+#include <iostream>
+
+#include "cluster/rebalance.hpp"
+#include "common/table.hpp"
+#include "core/rrf_system.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+using namespace rrf;
+}  // namespace
+
+int main() {
+  // Deliberately imbalanced initial placement.
+  sim::ScenarioConfig config;
+  config.workloads = {
+      wl::WorkloadKind::kRubbos, wl::WorkloadKind::kHadoop,
+      wl::WorkloadKind::kTpcc,   wl::WorkloadKind::kKernelBuild,
+      wl::WorkloadKind::kTpcc,   wl::WorkloadKind::kKernelBuild};
+  config.hosts = 2;
+  config.seed = 42;
+  config.placement = cluster::PlacementPolicy::kFirstFit;
+  sim::Scenario scenario = sim::build_scenario(config);
+
+  sim::EngineConfig engine;
+  engine.policy = sim::PolicyKind::kRrf;
+  engine.duration = 1200.0;
+  engine.window = 5.0;
+
+  const sim::SimResult before = sim::run_simulation(scenario, engine);
+
+  // Build the rebalancer's view: per-VM mean demand and reservation.
+  std::vector<cluster::VmLoad> loads;
+  for (std::size_t t = 0; t < scenario.cluster.tenants().size(); ++t) {
+    const auto& tenant = scenario.cluster.tenants()[t];
+    const wl::WorkloadProfile profile =
+        wl::profile_workload(*scenario.workloads[t], 2700.0, 5.0);
+    const std::vector<double> split = scenario.workloads[t]->vm_split();
+    for (std::size_t j = 0; j < tenant.vms.size(); ++j) {
+      cluster::VmLoad load;
+      load.tenant = t;
+      load.vm = j;
+      load.host = scenario.host_of[t][j];
+      load.demand = profile.average * split[j];
+      load.reserved = tenant.vms[j].provisioned;
+      loads.push_back(load);
+    }
+  }
+  std::vector<ResourceVector> capacity;
+  for (const auto& host : scenario.cluster.hosts()) {
+    capacity.push_back(host.capacity);
+  }
+  const cluster::RebalancePlan plan =
+      cluster::plan_rebalance(capacity, loads);
+
+  // Apply the plan and re-run.
+  for (const cluster::Migration& m : plan.migrations) {
+    const cluster::VmLoad& load = loads[m.vm_index];
+    scenario.host_of[load.tenant][load.vm] = m.to;
+  }
+  const sim::SimResult after = sim::run_simulation(scenario, engine);
+
+  TextTable table("Load-balancing ablation (first-fit start, RRF)");
+  table.header({"", "pressure host0", "pressure host1", "perf geomean",
+                "beta geomean"});
+  table.row({"before", TextTable::num(plan.pressure_before[0], 2),
+             TextTable::num(plan.pressure_before[1], 2),
+             TextTable::num(before.perf_geomean(), 3),
+             TextTable::num(before.fairness_geomean(), 3)});
+  table.row({"after " + std::to_string(plan.migrations.size()) +
+                 " migrations (" + TextTable::num(plan.total_cost_gb, 1) +
+                 " GB moved)",
+             TextTable::num(plan.pressure_after[0], 2),
+             TextTable::num(plan.pressure_after[1], 2),
+             TextTable::num(after.perf_geomean(), 3),
+             TextTable::num(after.fairness_geomean(), 3)});
+
+  // In-run (live) mode: the engine replans every 2 minutes and pays the
+  // migration cost model inside the simulation.
+  {
+    // Re-run from the *original* bad placement with live rebalancing on.
+    for (const cluster::Migration& m : plan.migrations) {
+      const cluster::VmLoad& load = loads[m.vm_index];
+      scenario.host_of[load.tenant][load.vm] = m.from;
+    }
+    sim::EngineConfig live = engine;
+    live.rebalance.enabled = true;
+    live.rebalance.every_windows = 24;
+    const sim::SimResult result = sim::run_simulation(scenario, live);
+    table.row({"live (in-run, " + std::to_string(result.migrations) +
+                   " migrations, " + TextTable::num(result.migrated_gb, 1) +
+                   " GB)",
+               "-", "-", TextTable::num(result.perf_geomean(), 3),
+               TextTable::num(result.fairness_geomean(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the migrations even out host pressure and "
+               "recover most of\nthe performance a skewness-aware initial "
+               "placement would have delivered;\nthe live mode gets there "
+               "on its own, paying the migration penalty model.\n";
+  return 0;
+}

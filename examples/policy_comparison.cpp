@@ -1,0 +1,69 @@
+// Compare every allocation policy on the same scenario — the library's
+// answer to "which sharing scheme should my cloud run?".
+//
+// The traces, placement and actuation are identical across policies; only
+// the per-window entitlement computation differs.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace rrf;
+
+  const std::vector<sim::PolicyKind> policies = {
+      sim::PolicyKind::kTshirt, sim::PolicyKind::kWmmf,
+      sim::PolicyKind::kDrf,    sim::PolicyKind::kDrfSeq,
+      sim::PolicyKind::kIwaOnly, sim::PolicyKind::kRrf,
+      sim::PolicyKind::kRrfSp};
+
+  sim::EngineConfig engine;
+  engine.duration = 1200.0;
+  engine.window = 5.0;
+
+  const PolicyComparison comparison =
+      compare_policies(paper_mix_scenario(), engine, policies);
+
+  TextTable table("Policy comparison (20 min, paper mix, alpha = 1)");
+  std::vector<std::string> header{"Metric"};
+  for (const sim::PolicyKind policy : policies) {
+    header.push_back(sim::to_string(policy));
+  }
+  table.header(std::move(header));
+
+  {
+    std::vector<std::string> row{"fairness beta (geomean)"};
+    for (double b : comparison.beta_geomean) {
+      row.push_back(TextTable::num(b, 3));
+    }
+    table.row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"performance (geomean)"};
+    for (double p : comparison.perf_geomean) {
+      row.push_back(TextTable::num(p, 3));
+    }
+    table.row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"beta spread (max-min)"};
+    for (const auto& betas : comparison.beta) {
+      double lo = 1e9, hi = -1e9;
+      for (double b : betas) {
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+      }
+      row.push_back(TextTable::num(hi - lo, 3));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHow to read this: T-shirt is perfectly fair but slow.\n"
+               "IWA barely moves assets (it only shuffles inside tenants).\n"
+               "Among the inter-tenant sharers, WMMF/DRF show the widest\n"
+               "beta spread (free riders gain); RRF keeps it tighter at\n"
+               "near-best performance, and rrf-sp adds full\n"
+               "strategy-proofness at a small efficiency cost.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification sweep: release build + tests, then an
+# AddressSanitizer+UBSan build + tests.  Run from the repository root.
+set -euo pipefail
+
+echo "== release build =="
+cmake -B build -G Ninja -DRRF_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== asan+ubsan build =="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DRRF_SANITIZE=address,undefined
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+echo "all checks passed"

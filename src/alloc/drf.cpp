@@ -1,0 +1,202 @@
+#include "alloc/drf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "alloc/wmmf.hpp"
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+AllocationResult DrfAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  validate_entities(capacity, entities);
+  const std::size_t p = capacity.size();
+  const std::size_t m = entities.size();
+
+  AllocationResult result;
+  result.allocations.assign(m, ResourceVector(p));
+  ResourceVector remaining = capacity;
+
+  // Per-user dominant-share fraction of full demand and filling rate.
+  // x_i in [0,1] is the satisfied fraction; at common weighted dominant
+  // share level g, an active user's fraction is x_i = g * w_i / ds_i.
+  std::vector<double> ds(m, 0.0);   // dominant share of the full demand
+  std::vector<double> rate(m, 0.0); // dx/dg = w_i / ds_i
+  std::vector<double> x(m, 0.0);
+  std::vector<bool> active(m, false);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < p; ++k) {
+      if (entities[i].demand[k] > 0.0) {
+        RRF_REQUIRE(capacity[k] > 0.0,
+                    "demand on a resource with zero capacity");
+        d = std::max(d, entities[i].demand[k] / capacity[k]);
+      }
+    }
+    ds[i] = d;
+    if (d > 0.0) {
+      const double w = entities[i].effective_weight();
+      RRF_REQUIRE(w > 0.0, "DRF requires positive weights for demanders");
+      rate[i] = w / d;
+      active[i] = true;
+    } else {
+      x[i] = 1.0;  // nothing demanded: trivially satisfied
+    }
+  }
+
+  double g = 0.0;
+  for (;;) {
+    // Next user-saturation event.
+    double dg_user = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!active[i]) continue;
+      // x_i reaches 1 when g grows by (1 - x_i) / rate_i.
+      dg_user = std::min(dg_user, (1.0 - x[i]) / rate[i]);
+    }
+    if (!std::isfinite(dg_user)) break;  // no active users left
+
+    // Next resource-exhaustion event.
+    double dg_res = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < p; ++k) {
+      double consumption_rate = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (active[i]) consumption_rate += rate[i] * entities[i].demand[k];
+      }
+      if (consumption_rate > kEps) {
+        dg_res = std::min(dg_res, remaining[k] / consumption_rate);
+      }
+    }
+
+    const double dg = std::min(dg_user, dg_res);
+    RRF_ASSERT(dg >= -kEps);
+
+    // Advance every active user by dg.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!active[i]) continue;
+      const double dx = dg * rate[i];
+      x[i] = std::min(1.0, x[i] + dx);
+      for (std::size_t k = 0; k < p; ++k) {
+        remaining[k] -= dx * entities[i].demand[k];
+      }
+    }
+    g += dg;
+
+    // Freeze satisfied users.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (active[i] && x[i] >= 1.0 - kEps) {
+        x[i] = 1.0;
+        active[i] = false;
+      }
+    }
+    // Freeze users touching an exhausted resource.
+    for (std::size_t k = 0; k < p; ++k) {
+      if (remaining[k] <= kEps * std::max(1.0, capacity[k])) {
+        remaining[k] = std::max(0.0, remaining[k]);
+        for (std::size_t i = 0; i < m; ++i) {
+          if (active[i] && entities[i].demand[k] > 0.0) active[i] = false;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < p; ++k) {
+      result.allocations[i][k] = x[i] * entities[i].demand[k];
+    }
+  }
+  result.unallocated = ResourceVector(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    result.unallocated[k] = std::max(0.0, remaining[k]);
+  }
+  return result;
+}
+
+AllocationResult SequentialDrfAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  validate_entities(capacity, entities);
+  const std::size_t p = capacity.size();
+  const std::size_t m = entities.size();
+
+  AllocationResult result;
+  result.allocations.assign(m, ResourceVector(p));
+  ResourceVector remaining = capacity;
+
+  // Ascending weighted dominant share of the *full* demand.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> wds(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < p; ++k) {
+      if (entities[i].demand[k] > 0.0) {
+        RRF_REQUIRE(capacity[k] > 0.0,
+                    "demand on a resource with zero capacity");
+        d = std::max(d, entities[i].demand[k] / capacity[k]);
+      }
+    }
+    const double w = entities[i].effective_weight();
+    wds[i] = w > 0.0 ? d / w : std::numeric_limits<double>::infinity();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return wds[a] < wds[b]; });
+
+  // Phase 1: fully satisfy users in ascending dominant-share order, but
+  // process *ties* as one batch (the paper satisfies VM1 first, then treats
+  // VM2 = VM3 as a joint max-min group).  A batch is only fully granted if
+  // its combined demand fits.
+  std::size_t idx = 0;
+  while (idx < m) {
+    std::size_t end = idx + 1;
+    const double tie_tol = 1e-12 + 1e-9 * std::abs(wds[order[idx]]);
+    while (end < m && std::abs(wds[order[end]] - wds[order[idx]]) <= tie_tol) {
+      ++end;
+    }
+    ResourceVector batch_demand(p);
+    for (std::size_t t = idx; t < end; ++t) {
+      batch_demand += entities[order[t]].demand;
+    }
+    if (!batch_demand.all_le(remaining, kEps)) break;
+    for (std::size_t t = idx; t < end; ++t) {
+      result.allocations[order[t]] = entities[order[t]].demand;
+      remaining -= entities[order[t]].demand;
+    }
+    idx = end;
+  }
+
+  // Phase 2: split every resource among the remainder by unweighted
+  // max-min on their demands (the paper's Table-I arithmetic).
+  if (idx < m) {
+    const std::size_t rest = m - idx;
+    std::vector<double> demands(rest), ones(rest, 1.0);
+    for (std::size_t k = 0; k < p; ++k) {
+      for (std::size_t j = 0; j < rest; ++j) {
+        demands[j] = entities[order[idx + j]].demand[k];
+      }
+      const std::vector<double> alloc =
+          weighted_max_min(std::max(0.0, remaining[k]), demands, ones);
+      for (std::size_t j = 0; j < rest; ++j) {
+        result.allocations[order[idx + j]][k] = alloc[j];
+        remaining[k] -= alloc[j];
+      }
+    }
+  }
+
+  result.unallocated = ResourceVector(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    result.unallocated[k] = std::max(0.0, remaining[k]);
+  }
+  return result;
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,44 @@
+#include "alloc/entity.hpp"
+
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+ResourceVector AllocationResult::total() const {
+  RRF_REQUIRE(!allocations.empty(), "empty allocation result");
+  ResourceVector t(allocations.front().size());
+  for (const auto& a : allocations) t += a;
+  return t;
+}
+
+void validate_entities(const ResourceVector& capacity,
+                       std::span<const AllocationEntity> entities) {
+  RRF_REQUIRE(!entities.empty(), "no entities to allocate to");
+  RRF_REQUIRE(capacity.all_nonneg(), "capacity must be non-negative");
+  for (const auto& e : entities) {
+    RRF_REQUIRE(e.initial_share.size() == capacity.size(),
+                "entity share arity must match capacity");
+    RRF_REQUIRE(e.demand.size() == capacity.size(),
+                "entity demand arity must match capacity");
+    RRF_REQUIRE(e.initial_share.all_nonneg(),
+                "initial shares must be non-negative");
+    RRF_REQUIRE(e.demand.all_nonneg(), "demands must be non-negative");
+    RRF_REQUIRE(e.weight >= 0.0, "weights must be non-negative");
+  }
+}
+
+ResourceVector total_demand(std::span<const AllocationEntity> entities) {
+  RRF_REQUIRE(!entities.empty(), "no entities");
+  ResourceVector t(entities.front().demand.size());
+  for (const auto& e : entities) t += e.demand;
+  return t;
+}
+
+ResourceVector total_share(std::span<const AllocationEntity> entities) {
+  RRF_REQUIRE(!entities.empty(), "no entities");
+  ResourceVector t(entities.front().initial_share.size());
+  for (const auto& e : entities) t += e.initial_share;
+  return t;
+}
+
+}  // namespace rrf::alloc

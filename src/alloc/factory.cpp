@@ -1,0 +1,31 @@
+#include "alloc/factory.hpp"
+
+#include "alloc/drf.hpp"
+#include "alloc/irt.hpp"
+#include "alloc/rrf.hpp"
+#include "alloc/tshirt.hpp"
+#include "alloc/wmmf.hpp"
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+AllocatorPtr make_allocator(const std::string& name) {
+  if (name == "tshirt") return std::make_unique<TShirtAllocator>();
+  if (name == "wmmf") return std::make_unique<WmmfAllocator>();
+  if (name == "drf") return std::make_unique<DrfAllocator>();
+  if (name == "drf-seq") return std::make_unique<SequentialDrfAllocator>();
+  if (name == "irt") return std::make_unique<IrtAllocator>();
+  if (name == "rrf") return std::make_unique<RrfAllocator>();
+  if (name == "rrf-sp") {
+    IrtOptions options;
+    options.cap_gain_at_contribution = true;
+    return std::make_unique<RrfAllocator>(options);
+  }
+  throw DomainError("unknown allocator: " + name);
+}
+
+std::vector<std::string> allocator_names() {
+  return {"tshirt", "wmmf", "drf", "drf-seq", "irt", "rrf", "rrf-sp"};
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,19 @@
+// Allocator factory: construct any policy by its string name.  Benches and
+// the simulation engine use this to sweep over policies uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+
+namespace rrf::alloc {
+
+/// Known policy names: "tshirt", "wmmf", "drf", "drf-seq", "irt", "rrf".
+/// Throws DomainError on unknown names.
+AllocatorPtr make_allocator(const std::string& name);
+
+/// All registered policy names (in canonical comparison order).
+std::vector<std::string> allocator_names();
+
+}  // namespace rrf::alloc

@@ -1,0 +1,293 @@
+#include "alloc/irt.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "alloc/wmmf.hpp"
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// State for one resource type's boundary search over a fixed order.
+///
+/// Positions [0, v) are capped at demand; positions [v, m) keep their
+/// initial share plus a Lambda-proportional cut of the leftover
+///   psi(v) = Omega_k - sum_{t<v} D(o_t) - sum_{t>=v} S(o_t).
+///
+/// sat(v) asks: would the entity at position v-1 be satisfied if it were
+/// NOT capped (i.e. boundary at v-1)?  This is inequality (1) of the paper;
+/// sat(v+1) being false is inequality (2).
+///
+/// Monotonicity (enables binary search): write phi(v) = psi(v)/suffixLambda(v)
+/// for the fill factor.  Moving a satisfied entity i across the boundary
+/// updates phi' = (phi*L - V_i*Lambda_i)/(L - Lambda_i) >= phi whenever
+/// phi >= V_i, and the V_i are ascending along the order — so sat() is true
+/// on a prefix and false after it.
+class BoundarySearch {
+ public:
+  BoundarySearch(double capacity, std::span<const AllocationEntity> entities,
+                 std::span<const double> lambda,
+                 std::span<const std::size_t> order, std::size_t k)
+      : entities_(entities), lambda_(lambda), order_(order), k_(k) {
+    const std::size_t m = order.size();
+    prefix_demand_.assign(m + 1, 0.0);
+    suffix_share_.assign(m + 1, 0.0);
+    suffix_lambda_.assign(m + 1, 0.0);
+    for (std::size_t t = 0; t < m; ++t) {
+      prefix_demand_[t + 1] =
+          prefix_demand_[t] + entities[order[t]].demand[k];
+    }
+    for (std::size_t t = m; t-- > 0;) {
+      suffix_share_[t] =
+          suffix_share_[t + 1] + entities[order[t]].initial_share[k];
+      suffix_lambda_[t] = suffix_lambda_[t + 1] + lambda[order[t]];
+    }
+    capacity_ = capacity;
+  }
+
+  /// psi with the first `v` positions capped at demand.
+  double psi(std::size_t v) const {
+    return capacity_ - prefix_demand_[v] - suffix_share_[v];
+  }
+
+  double suffix_lambda(std::size_t v) const { return suffix_lambda_[v]; }
+
+  /// Inequality (1) for boundary v (>= 1): entity at position v-1 would be
+  /// satisfied by share + its proportional cut if left uncapped.
+  bool sat(std::size_t v) const {
+    RRF_ASSERT(v >= 1 && v <= order_.size());
+    const std::size_t i = order_[v - 1];
+    const double need =
+        entities_[i].demand[k_] - entities_[i].initial_share[k_];
+    if (need <= kEps) return true;  // contributors / exactly-met entities
+    const double lam_suffix = suffix_lambda_[v - 1];
+    if (lam_suffix <= 0.0) return false;  // nothing to redistribute with
+    const double extra = psi(v - 1) * lambda_[i] / lam_suffix;
+    return extra + kEps >= need;
+  }
+
+ private:
+  std::span<const AllocationEntity> entities_;
+  std::span<const double> lambda_;
+  std::span<const std::size_t> order_;
+  std::size_t k_;
+  double capacity_{0.0};
+  std::vector<double> prefix_demand_;
+  std::vector<double> suffix_share_;
+  std::vector<double> suffix_lambda_;
+};
+
+}  // namespace
+
+std::vector<double> IrtAllocator::total_contributions(
+    std::span<const AllocationEntity> entities) {
+  std::vector<double> lambda(entities.size(), 0.0);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    // Instantaneous contribution plus any banked long-term credit
+    // (rrf-lt); clamped so a debtor never gets negative priority.
+    lambda[i] = std::max(
+        0.0,
+        entities[i].initial_share.surplus_over(entities[i].demand).sum() +
+            entities[i].banked_contribution);
+  }
+  return lambda;
+}
+
+AllocationResult IrtAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  return allocate_traced(capacity, entities, nullptr);
+}
+
+AllocationResult IrtAllocator::allocate_traced(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities,
+    std::vector<IrtTypeTrace>* traces) const {
+  validate_entities(capacity, entities);
+  const std::size_t p = capacity.size();
+  const std::size_t m = entities.size();
+
+  // Lines 1-8: initial shares, per-type contributions, total Lambda(i).
+  const std::vector<double> lambda = total_contributions(entities);
+
+  AllocationResult result;
+  result.allocations.assign(m, ResourceVector(p));
+  result.unallocated = ResourceVector(p);
+  if (traces) traces->assign(p, IrtTypeTrace{});
+
+  // Trade budgets for the strategy-proof variant: a tenant's cumulative
+  // gain across all types may not exceed her total contribution.
+  std::vector<double> budget;
+  if (options_.cap_gain_at_contribution) budget = lambda;
+
+  for (std::size_t k = 0; k < p; ++k) {
+    // ---- ordering: contributors by ascending U, then beneficiaries by
+    // ascending V (lines 9-14). ----
+    auto is_contributor = [&](std::size_t i) {
+      return entities[i].demand[k] < entities[i].initial_share[k] - kEps;
+    };
+    auto u_of = [&](std::size_t i) {
+      const double s = entities[i].initial_share[k];
+      return s > 0.0 ? entities[i].demand[k] / s : 0.0;
+    };
+    auto v_of = [&](std::size_t i) {
+      const double need =
+          entities[i].demand[k] - entities[i].initial_share[k];
+      if (need <= 0.0) return 0.0;
+      return lambda[i] > 0.0 ? need / lambda[i]
+                             : std::numeric_limits<double>::infinity();
+    };
+
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const bool ca = is_contributor(a);
+                       const bool cb = is_contributor(b);
+                       if (ca != cb) return ca;  // contributors first
+                       if (ca) return u_of(a) < u_of(b);
+                       return v_of(a) < v_of(b);
+                     });
+    const std::size_t u = static_cast<std::size_t>(std::count_if(
+        order.begin(), order.end(), is_contributor));
+
+    // ---- boundary search (line 15). ----
+    const BoundarySearch search(capacity[k], entities, lambda, order, k);
+    std::size_t v = u;
+    if (options_.cap_gain_at_contribution) {
+      // Budget caps break the monotonicity proof, so the strategy-proof
+      // variant always scans linearly: the prefix grows while the next
+      // entity is satisfiable within both its proportional cut and its
+      // remaining trade budget.
+      while (v < m) {
+        const std::size_t i = order[v];
+        const double need =
+            entities[i].demand[k] - entities[i].initial_share[k];
+        if (need > budget[i] + kEps) break;
+        if (!search.sat(v + 1)) break;
+        ++v;
+      }
+    } else if (options_.search == IrtOptions::Search::kBinary) {
+      // Largest v in [u, m] with (v == u or sat(v)); sat is monotone.
+      std::size_t lo = u, hi = m;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (mid == u || search.sat(mid)) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      v = lo;
+    } else {
+      v = u;
+      while (v < m && search.sat(v + 1)) ++v;
+    }
+
+    // ---- allocation (lines 16-20). ----
+    const double psi = search.psi(v);
+    const double lam_suffix = search.suffix_lambda(v);
+    double allocated = 0.0;
+    for (std::size_t t = 0; t < v; ++t) {
+      const std::size_t i = order[t];
+      result.allocations[i][k] = entities[i].demand[k];
+      allocated += entities[i].demand[k];
+      if (options_.cap_gain_at_contribution) {
+        budget[i] = std::max(0.0, budget[i] - std::max(0.0,
+            entities[i].demand[k] - entities[i].initial_share[k]));
+      }
+    }
+    if (v < m) {
+      if (options_.cap_gain_at_contribution && psi >= 0.0) {
+        // Strategy-proof variant: water-fill the surplus over the suffix
+        // weighted by contribution, with each gain capped at both the
+        // unmet need and the remaining trade budget.  Unplaceable surplus
+        // idles (spreading it would reopen the free-gain loophole).
+        const std::size_t rest = m - v;
+        std::vector<double> caps(rest), weights(rest);
+        for (std::size_t t = 0; t < rest; ++t) {
+          const std::size_t i = order[v + t];
+          const double need = std::max(
+              0.0, entities[i].demand[k] - entities[i].initial_share[k]);
+          caps[t] = std::min(need, budget[i]);
+          weights[t] = lambda[i];
+        }
+        const std::vector<double> extras =
+            weighted_max_min(psi, caps, weights);
+        for (std::size_t t = 0; t < rest; ++t) {
+          const std::size_t i = order[v + t];
+          result.allocations[i][k] = entities[i].initial_share[k] + extras[t];
+          allocated += result.allocations[i][k];
+          budget[i] = std::max(0.0, budget[i] - extras[t]);
+        }
+      } else if (psi >= 0.0 && lam_suffix > 0.0) {
+        // Redistribute psi to the unsatisfied suffix by contribution.
+        for (std::size_t t = v; t < m; ++t) {
+          const std::size_t i = order[t];
+          const double grant = entities[i].initial_share[k] +
+                               psi * lambda[i] / lam_suffix;
+          result.allocations[i][k] = grant;
+          allocated += grant;
+        }
+      } else if (psi >= 0.0) {
+        // Nobody in the suffix contributed anything: psi is
+        // undistributable under gain-as-you-contribute.  The optional
+        // fallback water-fills it by share, capped at each entity's
+        // remaining need (keeping the fallback Pareto-efficient).
+        const std::size_t rest = m - v;
+        std::vector<double> extras(rest, 0.0);
+        if (options_.fallback ==
+            IrtOptions::SurplusFallback::kProportionalToShare) {
+          std::vector<double> needs(rest), weights(rest);
+          for (std::size_t t = 0; t < rest; ++t) {
+            const std::size_t i = order[v + t];
+            needs[t] = std::max(
+                0.0, entities[i].demand[k] - entities[i].initial_share[k]);
+            weights[t] = entities[i].initial_share[k];
+          }
+          extras = weighted_max_min(psi, needs, weights);
+        }
+        for (std::size_t t = 0; t < rest; ++t) {
+          const std::size_t i = order[v + t];
+          const double grant =
+              entities[i].initial_share[k] + extras[t];
+          result.allocations[i][k] = grant;
+          allocated += grant;
+        }
+      } else {
+        // Overcommitted pool (capacity below the suffix's initial shares):
+        // scale the suffix's shares down proportionally so the type fits.
+        double suffix_share = 0.0;
+        for (std::size_t t = v; t < m; ++t) {
+          suffix_share += entities[order[t]].initial_share[k];
+        }
+        const double available = std::max(0.0, capacity[k] - allocated);
+        const double scale =
+            suffix_share > 0.0 ? available / suffix_share : 0.0;
+        for (std::size_t t = v; t < m; ++t) {
+          const std::size_t i = order[t];
+          const double grant = entities[i].initial_share[k] * scale;
+          result.allocations[i][k] = grant;
+          allocated += grant;
+        }
+      }
+    }
+    result.unallocated[k] = std::max(0.0, capacity[k] - allocated);
+
+    if (traces) {
+      (*traces)[k].order = order;
+      (*traces)[k].contributor_count = u;
+      (*traces)[k].capped_count = v;
+      (*traces)[k].redistributed = std::max(0.0, psi);
+    }
+  }
+  return result;
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,97 @@
+#include "alloc/iwa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+IwaResult iwa_distribute(double tenant_total,
+                         std::span<const double> initial_shares,
+                         std::span<const double> demands) {
+  RRF_REQUIRE(initial_shares.size() == demands.size(),
+              "share/demand length mismatch");
+  RRF_REQUIRE(tenant_total >= 0.0, "negative tenant grant");
+  const std::size_t n = initial_shares.size();
+  IwaResult result;
+  result.allocations.assign(n, 0.0);
+
+  // Line 1: Phi starts as the difference between the tenant-level grant and
+  // the sum of the VMs' initial shares (IRT may have grown or shrunk it).
+  const double initial_sum =
+      std::accumulate(initial_shares.begin(), initial_shares.end(), 0.0);
+  double phi = tenant_total - initial_sum;
+
+  // Lines 2-6: satisfied VMs are capped at demand and free their surplus;
+  // Gamma accumulates the unsatisfied need.
+  double gamma = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (demands[j] >= initial_shares[j]) {
+      gamma += demands[j] - initial_shares[j];
+    } else {
+      phi += initial_shares[j] - demands[j];
+    }
+  }
+
+  // Lines 7-11: spread Phi over unsatisfied VMs in the ratio of their
+  // unsatisfied demands.  We additionally cap at demand (Phi may exceed
+  // Gamma) and clamp at zero (the tenant-level grant may be below the sum
+  // of VM demands of satisfied VMs in pathological inputs).
+  const double fill = gamma > 0.0 ? std::min(phi, gamma) / gamma : 0.0;
+  double used = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double grant;
+    if (demands[j] >= initial_shares[j]) {
+      grant = initial_shares[j] + (demands[j] - initial_shares[j]) * fill;
+    } else {
+      grant = demands[j];
+    }
+    grant = std::max(0.0, grant);
+    result.allocations[j] = grant;
+    used += grant;
+  }
+
+  // Whatever the VMs cannot absorb stays with the tenant.
+  result.headroom = std::max(0.0, tenant_total - used);
+
+  // Degenerate defensive case: if the tenant-level grant cannot even cover
+  // the capped allocations (tenant_total < used), scale down uniformly so
+  // we never hand out more than the tenant owns.
+  if (used > tenant_total && used > 0.0) {
+    const double scale = tenant_total / used;
+    for (double& a : result.allocations) a *= scale;
+    result.headroom = 0.0;
+  }
+  return result;
+}
+
+IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
+                               std::span<const AllocationEntity> vms) {
+  RRF_REQUIRE(!vms.empty(), "tenant with no VMs");
+  const std::size_t p = tenant_total.size();
+  const std::size_t n = vms.size();
+
+  IwaVectorResult out;
+  out.allocations.assign(n, ResourceVector(p));
+  out.headroom = ResourceVector(p);
+
+  std::vector<double> shares(n), demands(n);
+  for (std::size_t k = 0; k < p; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      RRF_REQUIRE(vms[j].initial_share.size() == p &&
+                      vms[j].demand.size() == p,
+                  "VM vector arity mismatch");
+      shares[j] = vms[j].initial_share[k];
+      demands[j] = vms[j].demand[k];
+    }
+    IwaResult r = iwa_distribute(tenant_total[k], shares, demands);
+    for (std::size_t j = 0; j < n; ++j) {
+      out.allocations[j][k] = r.allocations[j];
+    }
+    out.headroom[k] = r.headroom;
+  }
+  return out;
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,419 @@
+#include "alloc/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "alloc/irt.hpp"
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+namespace {
+constexpr double kTol = 1e-6;
+
+std::string describe(const AllocationEntity& e, const ResourceVector& alloc) {
+  std::ostringstream os;
+  os << (e.name.empty() ? "entity" : e.name) << " S=" << e.initial_share
+     << " D=" << e.demand << " got " << alloc;
+  return os.str();
+}
+}  // namespace
+
+double satisfied_value(const ResourceVector& alloc,
+                       const ResourceVector& demand) {
+  return ResourceVector::elementwise_min(alloc, demand).sum();
+}
+
+std::vector<AllocationEntity> random_scenario(Rng& rng,
+                                              const ScenarioOptions& options,
+                                              ResourceVector* capacity) {
+  RRF_REQUIRE(capacity != nullptr, "capacity out-param required");
+  const std::size_t m = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(options.min_entities),
+      static_cast<std::int64_t>(options.max_entities)));
+  const std::size_t p = options.resource_types;
+
+  std::vector<AllocationEntity> entities(m);
+  ResourceVector total(p);
+  for (std::size_t i = 0; i < m; ++i) {
+    entities[i].initial_share = ResourceVector(p);
+    entities[i].demand = ResourceVector(p);
+    entities[i].name = "T" + std::to_string(i);
+    const double base_share = rng.uniform(100.0, 1000.0);
+    for (std::size_t k = 0; k < p; ++k) {
+      const double share =
+          options.balanced_shares ? base_share : rng.uniform(100.0, 1000.0);
+      const double factor =
+          rng.uniform(options.demand_factor_lo, options.demand_factor_hi);
+      entities[i].initial_share[k] = share;
+      entities[i].demand[k] = share * factor;
+      total[k] += share;
+    }
+  }
+  *capacity = total * options.share_capacity_ratio;
+  return entities;
+}
+
+PropertyReport check_sharing_incentive(const Allocator& policy, Rng rng,
+                                       std::size_t trials,
+                                       const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult result = policy.allocate(capacity, entities);
+
+    bool violated = false;
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      const double sharing =
+          satisfied_value(result.allocations[i], entities[i].demand);
+      const double exclusive =
+          satisfied_value(entities[i].initial_share, entities[i].demand);
+      const double deficit = exclusive - sharing;
+      if (deficit > kTol * std::max(1.0, exclusive)) {
+        violated = true;
+        report.worst_violation = std::max(report.worst_violation, deficit);
+        if (report.first_example.empty()) {
+          report.first_example =
+              describe(entities[i], result.allocations[i]) +
+              " (usable " + std::to_string(sharing) + " < exclusive " +
+              std::to_string(exclusive) + ")";
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_gain_as_you_contribute(const Allocator& policy, Rng rng,
+                                            std::size_t trials,
+                                            const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult result = policy.allocate(capacity, entities);
+    const std::vector<double> lambda =
+        IrtAllocator::total_contributions(entities);
+
+    bool violated = false;
+    for (std::size_t k = 0; k < capacity.size(); ++k) {
+      // Rule 1: zero-contribution entities must not gain on contended types.
+      // Rule 2: unsatisfied entities with positive contribution gain in a
+      // common ratio gain/Lambda.
+      double ratio = std::numeric_limits<double>::quiet_NaN();
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        const double alloc = result.allocations[i][k];
+        const double share = entities[i].initial_share[k];
+        const double demand = entities[i].demand[k];
+        const double gain = alloc - share;
+        const bool unsatisfied = alloc < demand - kTol * std::max(1.0, demand);
+        if (!unsatisfied) continue;
+        if (lambda[i] <= kTol) {
+          if (gain > kTol * std::max(1.0, share)) {
+            violated = true;
+            report.worst_violation = std::max(report.worst_violation, gain);
+            if (report.first_example.empty()) {
+              report.first_example =
+                  "free rider gained: " + describe(entities[i],
+                                                   result.allocations[i]);
+            }
+          }
+          continue;
+        }
+        const double r = gain / lambda[i];
+        if (std::isnan(ratio)) {
+          ratio = r;
+        } else if (std::abs(r - ratio) >
+                   1e-4 * std::max({1.0, std::abs(r), std::abs(ratio)})) {
+          violated = true;
+          report.worst_violation =
+              std::max(report.worst_violation, std::abs(r - ratio));
+          if (report.first_example.empty()) {
+            report.first_example =
+                "unequal gain/contribution ratios on type " +
+                std::to_string(k) + ": " + std::to_string(r) + " vs " +
+                std::to_string(ratio);
+          }
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_strategy_proofness(const Allocator& policy, Rng rng,
+                                        std::size_t trials,
+                                        const ScenarioOptions& options,
+                                        Manipulation manipulation) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult truthful = policy.allocate(capacity, entities);
+
+    // One randomly chosen manipulator tries a battery of lies.
+    const std::size_t liar =
+        static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(entities.size()) - 1));
+    const ResourceVector true_demand = entities[liar].demand;
+    const double honest_value =
+        satisfied_value(truthful.allocations[liar], true_demand);
+
+    bool violated = false;
+    const double factors[] = {0.25, 0.5, 0.75, 1.25, 1.5, 2.0, 4.0};
+    for (const double f : factors) {
+      if (manipulation == Manipulation::kOverReport && f < 1.0) continue;
+      if (manipulation == Manipulation::kUnderReport && f > 1.0) continue;
+      for (std::size_t k = 0; k <= capacity.size(); ++k) {
+        // k < p: lie on one type only; k == p: scale the whole vector.
+        ResourceVector lie = true_demand;
+        if (k < capacity.size()) {
+          lie[k] = true_demand[k] * f;
+        } else {
+          lie *= f;
+        }
+        entities[liar].demand = lie;
+        const AllocationResult lied = policy.allocate(capacity, entities);
+        const double lied_value =
+            satisfied_value(lied.allocations[liar], true_demand);
+        const double benefit = lied_value - honest_value;
+        if (benefit > 1e-4 * std::max(1.0, honest_value)) {
+          violated = true;
+          report.worst_violation =
+              std::max(report.worst_violation, benefit);
+          if (report.first_example.empty()) {
+            std::ostringstream os;
+            os << "lying pays: true D=" << true_demand << " claimed "
+               << lie << " usable " << lied_value << " > honest "
+               << honest_value;
+            report.first_example = os.str();
+          }
+        }
+      }
+    }
+    entities[liar].demand = true_demand;
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_pareto_efficiency(const Allocator& policy, Rng rng,
+                                       std::size_t trials,
+                                       const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult result = policy.allocate(capacity, entities);
+
+    // Capacity *usably* consumed: allocation beyond demand is waste (the
+    // T-shirt model's failure mode), so it counts as idle here.
+    ResourceVector used(capacity.size());
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      used += ResourceVector::elementwise_min(result.allocations[i],
+                                              entities[i].demand);
+    }
+
+    bool violated = false;
+    for (std::size_t k = 0; k < capacity.size(); ++k) {
+      const double idle = capacity[k] - used[k];
+      if (idle <= 1e-6 * std::max(1.0, capacity[k])) continue;
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        const double unmet =
+            entities[i].demand[k] - result.allocations[i][k];
+        if (unmet > 1e-6 * std::max(1.0, entities[i].demand[k])) {
+          violated = true;
+          report.worst_violation =
+              std::max(report.worst_violation, std::min(idle, unmet));
+          if (report.first_example.empty()) {
+            report.first_example =
+                "type " + std::to_string(k) + " idle " +
+                std::to_string(idle) + " while " +
+                describe(entities[i], result.allocations[i]) +
+                " is unsatisfied";
+          }
+          break;
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_envy_freeness(const Allocator& policy, Rng rng,
+                                   std::size_t trials,
+                                   const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult result = policy.allocate(capacity, entities);
+
+    bool violated = false;
+    for (std::size_t i = 0; i < entities.size() && !violated; ++i) {
+      const double own =
+          satisfied_value(result.allocations[i], entities[i].demand);
+      const double wi = entities[i].effective_weight();
+      for (std::size_t j = 0; j < entities.size(); ++j) {
+        if (i == j) continue;
+        const double wj = entities[j].effective_weight();
+        if (wj <= 0.0) continue;
+        const double other = satisfied_value(
+            result.allocations[j] * (wi / wj), entities[i].demand);
+        const double envy = other - own;
+        if (envy > 1e-4 * std::max(1.0, own)) {
+          violated = true;
+          report.worst_violation = std::max(report.worst_violation, envy);
+          if (report.first_example.empty()) {
+            report.first_example =
+                entities[i].name + " envies " + entities[j].name +
+                " (usable " + std::to_string(other) + " > " +
+                std::to_string(own) + ")";
+          }
+          break;
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_population_monotonicity(const Allocator& policy,
+                                              Rng rng, std::size_t trials,
+                                              const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    auto entities = random_scenario(rng, options, &capacity);
+    if (entities.size() < 2) {
+      ++report.trials;
+      continue;
+    }
+    const AllocationResult before = policy.allocate(capacity, entities);
+    const std::size_t leaver = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(entities.size()) - 1));
+    std::vector<double> usable_before;
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      if (i == leaver) continue;
+      usable_before.push_back(
+          satisfied_value(before.allocations[i], entities[i].demand));
+    }
+    std::vector<AllocationEntity> remaining = entities;
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(leaver));
+    const AllocationResult after = policy.allocate(capacity, remaining);
+
+    bool violated = false;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const double usable_after =
+          satisfied_value(after.allocations[i], remaining[i].demand);
+      const double loss = usable_before[i] - usable_after;
+      if (loss > 1e-4 * std::max(1.0, usable_before[i])) {
+        violated = true;
+        report.worst_violation = std::max(report.worst_violation, loss);
+        if (report.first_example.empty()) {
+          report.first_example = remaining[i].name +
+                                 " lost usable value when another entity "
+                                 "left: " +
+                                 std::to_string(usable_before[i]) + " -> " +
+                                 std::to_string(usable_after);
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_resource_monotonicity(const Allocator& policy, Rng rng,
+                                           std::size_t trials,
+                                           const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult before = policy.allocate(capacity, entities);
+
+    ResourceVector grown = capacity;
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(capacity.size()) - 1));
+    grown[k] *= rng.uniform(1.1, 2.0);
+    const AllocationResult after = policy.allocate(grown, entities);
+
+    bool violated = false;
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      const double usable_before =
+          satisfied_value(before.allocations[i], entities[i].demand);
+      const double usable_after =
+          satisfied_value(after.allocations[i], entities[i].demand);
+      const double loss = usable_before - usable_after;
+      if (loss > 1e-4 * std::max(1.0, usable_before)) {
+        violated = true;
+        report.worst_violation = std::max(report.worst_violation, loss);
+        if (report.first_example.empty()) {
+          report.first_example =
+              entities[i].name + " lost usable value when type " +
+              std::to_string(k) + " grew: " +
+              std::to_string(usable_before) + " -> " +
+              std::to_string(usable_after);
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+PropertyReport check_capacity_safety(const Allocator& policy, Rng rng,
+                                     std::size_t trials,
+                                     const ScenarioOptions& options) {
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ResourceVector capacity(options.resource_types);
+    const auto entities = random_scenario(rng, options, &capacity);
+    const AllocationResult result = policy.allocate(capacity, entities);
+
+    bool violated = false;
+    ResourceVector total(capacity.size());
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+      if (!result.allocations[i].all_nonneg(kTol)) {
+        violated = true;
+        if (report.first_example.empty()) {
+          report.first_example =
+              "negative grant: " + describe(entities[i],
+                                            result.allocations[i]);
+        }
+      }
+      total += result.allocations[i];
+    }
+    for (std::size_t k = 0; k < capacity.size(); ++k) {
+      const double excess = total[k] - capacity[k];
+      if (excess > kTol * std::max(1.0, capacity[k])) {
+        violated = true;
+        report.worst_violation = std::max(report.worst_violation, excess);
+        if (report.first_example.empty()) {
+          report.first_example = "over-allocated type " + std::to_string(k);
+        }
+      }
+    }
+    ++report.trials;
+    if (violated) ++report.violations;
+  }
+  return report;
+}
+
+}  // namespace rrf::alloc

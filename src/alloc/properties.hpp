@@ -1,0 +1,124 @@
+// Fairness-property checkers (paper Section III-A / IV-C, Table III).
+//
+// Each checker runs an allocation policy over randomized contended
+// scenarios and counts violations of one property:
+//
+//  * sharing incentive — every tenant can use at least as much as under an
+//    exclusive static partition of her own shares;
+//  * gain-as-you-contribute — per resource type, unsatisfied tenants' gains
+//    over their initial shares are proportional to their total
+//    contributions, and zero-contribution tenants gain nothing;
+//  * strategy-proofness — no tenant can increase the allocation she can
+//    actually use by misreporting her demand (over- or under-claiming).
+//
+// The checkers are policy-agnostic: the same harness reproduces the paper's
+// Table III (RRF satisfies all three; WMMF/DRF fail the last two).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "alloc/allocator.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::alloc {
+
+/// Share value the entity can actually use: sum_k min(alloc_k, demand_k).
+double satisfied_value(const ResourceVector& alloc,
+                       const ResourceVector& demand);
+
+struct PropertyReport {
+  std::size_t trials{0};
+  std::size_t violations{0};
+  /// Magnitude of the worst violation (property-specific units; 0 if none).
+  double worst_violation{0.0};
+  /// Human-readable description of the first violation found.
+  std::string first_example;
+
+  bool holds() const { return violations == 0; }
+  double violation_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(violations) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct ScenarioOptions {
+  std::size_t min_entities = 3;
+  std::size_t max_entities = 8;
+  std::size_t resource_types = 2;
+  /// Demand multiplier range relative to initial share (mix of
+  /// contributors, < 1, and beneficiaries, > 1).
+  double demand_factor_lo = 0.2;
+  double demand_factor_hi = 2.2;
+  /// Pool capacity = share_capacity_ratio * total initial shares.
+  double share_capacity_ratio = 1.0;
+  /// When true, every entity's share vector is the same across types
+  /// (the paper's model: a tenant's priority is uniform; only demands are
+  /// skewed).  When false, share vectors are drawn per type independently.
+  bool balanced_shares = true;
+};
+
+/// Draw a random contended scenario; fills `capacity` with the pool size.
+std::vector<AllocationEntity> random_scenario(Rng& rng,
+                                              const ScenarioOptions& options,
+                                              ResourceVector* capacity);
+
+PropertyReport check_sharing_incentive(const Allocator& policy, Rng rng,
+                                       std::size_t trials,
+                                       const ScenarioOptions& options = {});
+
+PropertyReport check_gain_as_you_contribute(
+    const Allocator& policy, Rng rng, std::size_t trials,
+    const ScenarioOptions& options = {});
+
+/// Which demand manipulations the strategy-proofness checker tries.
+/// The paper's Theorem 3 argues over-claiming and free-riding never pay
+/// under RRF; under-claiming (posing as a contributor) *can* pay when the
+/// trading exchange rate psi/SumLambda exceeds 1 — see DESIGN.md §5 and the
+/// `rrf-sp` variant that closes the loophole.
+enum class Manipulation { kAll, kOverReport, kUnderReport };
+
+PropertyReport check_strategy_proofness(
+    const Allocator& policy, Rng rng, std::size_t trials,
+    const ScenarioOptions& options = {},
+    Manipulation manipulation = Manipulation::kAll);
+
+/// Pareto efficiency: no resource type is left idle while some entity's
+/// demand for it is unsatisfied.  The paper inherits this requirement from
+/// DRF; note that strict gain-as-you-contribute *forfeits* it by design —
+/// RRF leaves surplus idle rather than feeding free riders (the
+/// kProportionalToShare fallback trades the properties the other way).
+PropertyReport check_pareto_efficiency(const Allocator& policy, Rng rng,
+                                       std::size_t trials,
+                                       const ScenarioOptions& options = {});
+
+/// Weighted envy-freeness: no entity would prefer another entity's
+/// allocation scaled by their weight ratio (w_i / w_j) to her own, where
+/// preference is measured by the share value usable against her demand.
+PropertyReport check_envy_freeness(const Allocator& policy, Rng rng,
+                                   std::size_t trials,
+                                   const ScenarioOptions& options = {});
+
+/// Population monotonicity: with the pool capacity held fixed, an entity
+/// leaving must not *decrease* what any remaining entity can use.
+PropertyReport check_population_monotonicity(
+    const Allocator& policy, Rng rng, std::size_t trials,
+    const ScenarioOptions& options = {});
+
+/// Resource monotonicity: growing the capacity of one resource type must
+/// not decrease anyone's usable allocation.  Canonical DRF famously
+/// violates this (dominant resources flip); see Ghodsi et al. §6.
+PropertyReport check_resource_monotonicity(
+    const Allocator& policy, Rng rng, std::size_t trials,
+    const ScenarioOptions& options = {});
+
+/// Structural sanity properties every policy must satisfy (used by tests):
+/// no over-allocation of any resource type, non-negative grants, and
+/// conservation (allocations + unallocated == capacity when demands are
+/// unmet, or <= capacity in general).
+PropertyReport check_capacity_safety(const Allocator& policy, Rng rng,
+                                     std::size_t trials,
+                                     const ScenarioOptions& options = {});
+
+}  // namespace rrf::alloc

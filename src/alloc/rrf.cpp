@@ -1,0 +1,53 @@
+#include "alloc/rrf.hpp"
+
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+AllocationEntity TenantGroup::aggregate() const {
+  RRF_REQUIRE(!vms.empty(), "tenant with no VMs");
+  AllocationEntity agg;
+  agg.initial_share = ResourceVector(vms.front().initial_share.size());
+  agg.demand = ResourceVector(vms.front().demand.size());
+  for (const auto& vm : vms) {
+    agg.initial_share += vm.initial_share;
+    agg.demand += vm.demand;
+  }
+  agg.banked_contribution = banked_contribution;
+  agg.name = name;
+  return agg;
+}
+
+HierarchicalResult RrfAllocator::allocate_hierarchical(
+    const ResourceVector& capacity,
+    std::span<const TenantGroup> tenants) const {
+  RRF_REQUIRE(!tenants.empty(), "no tenants");
+
+  // Level 1: IRT over the tenant aggregates.
+  std::vector<AllocationEntity> aggregates;
+  aggregates.reserve(tenants.size());
+  for (const auto& t : tenants) aggregates.push_back(t.aggregate());
+
+  HierarchicalResult out;
+  out.tenant_level = irt_.allocate(capacity, aggregates);
+
+  // Level 2: IWA inside each tenant, seeded with its IRT entitlement.
+  out.vm_allocations.reserve(tenants.size());
+  out.tenant_headroom.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    IwaVectorResult r = iwa_distribute(out.tenant_level.allocations[i],
+                                       tenants[i].vms);
+    out.vm_allocations.push_back(std::move(r.allocations));
+    out.tenant_headroom.push_back(std::move(r.headroom));
+  }
+  return out;
+}
+
+AllocationResult RrfAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  // Single-VM tenants: IWA is the identity, so flat RRF == IRT.
+  return irt_.allocate(capacity, entities);
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,33 @@
+#include "alloc/tshirt.hpp"
+
+namespace rrf::alloc {
+
+AllocationResult TShirtAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  validate_entities(capacity, entities);
+  const std::size_t p = capacity.size();
+  const ResourceVector shares = total_share(entities);
+
+  AllocationResult result;
+  result.allocations.reserve(entities.size());
+  result.unallocated = ResourceVector(p);
+
+  for (const auto& e : entities) {
+    ResourceVector a(p);
+    for (std::size_t k = 0; k < p; ++k) {
+      // Proportional static partition; if nobody owns shares of type k the
+      // whole capacity stays idle.
+      a[k] = shares[k] > 0.0
+                 ? capacity[k] * (e.initial_share[k] / shares[k])
+                 : 0.0;
+    }
+    result.allocations.push_back(std::move(a));
+  }
+  for (std::size_t k = 0; k < p; ++k) {
+    if (shares[k] <= 0.0) result.unallocated[k] = capacity[k];
+  }
+  return result;
+}
+
+}  // namespace rrf::alloc

@@ -1,0 +1,99 @@
+#include "alloc/wmmf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+
+std::vector<double> weighted_max_min(double capacity,
+                                     std::span<const double> demands,
+                                     std::span<const double> weights) {
+  RRF_REQUIRE(demands.size() == weights.size(),
+              "demand/weight length mismatch");
+  RRF_REQUIRE(capacity >= 0.0, "negative capacity");
+  const std::size_t n = demands.size();
+  std::vector<double> alloc(n, 0.0);
+
+  const double total_demand =
+      std::accumulate(demands.begin(), demands.end(), 0.0);
+  if (total_demand <= capacity) {
+    // Abundant capacity: everyone is capped at demand (principle 2).
+    std::copy(demands.begin(), demands.end(), alloc.begin());
+    return alloc;
+  }
+
+  // Contended: water-fill over the weighted users in increasing d/w order.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] > 0.0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] * weights[b] < demands[b] * weights[a];
+  });
+
+  double remaining = capacity;
+  double active_weight = 0.0;
+  for (std::size_t i : order) active_weight += weights[i];
+
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t i = order[idx];
+    // Would giving every remaining user the level d_i/w_i fit?
+    if (demands[i] * active_weight <= remaining * weights[i]) {
+      alloc[i] = demands[i];  // satisfied, surplus flows on
+      remaining -= demands[i];
+      active_weight -= weights[i];
+    } else {
+      // Water level found: all remaining users split `remaining` by weight.
+      const double level = remaining / active_weight;
+      for (std::size_t j = idx; j < order.size(); ++j) {
+        const std::size_t u = order[j];
+        alloc[u] = std::min(demands[u], level * weights[u]);
+      }
+      return alloc;
+    }
+  }
+  return alloc;
+}
+
+AllocationResult WmmfAllocator::allocate(
+    const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities) const {
+  validate_entities(capacity, entities);
+  const std::size_t p = capacity.size();
+  const std::size_t m = entities.size();
+
+  AllocationResult result;
+  result.allocations.assign(m, ResourceVector(p));
+  result.unallocated = ResourceVector(p);
+
+  std::vector<double> demands(m), weights(m);
+  for (std::size_t k = 0; k < p; ++k) {
+    bool any_weight = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      demands[i] = entities[i].demand[k];
+      weights[i] = entities[i].initial_share[k];
+      any_weight = any_weight || weights[i] > 0.0;
+    }
+    if (!any_weight) {
+      // Nobody owns shares of this type: fall back to scalar weights so the
+      // capacity is still distributed fairly.
+      for (std::size_t i = 0; i < m; ++i) {
+        weights[i] = entities[i].effective_weight();
+      }
+    }
+    const std::vector<double> alloc =
+        weighted_max_min(capacity[k], demands, weights);
+    double used = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      result.allocations[i][k] = alloc[i];
+      used += alloc[i];
+    }
+    result.unallocated[k] = std::max(0.0, capacity[k] - used);
+  }
+  return result;
+}
+
+}  // namespace rrf::alloc

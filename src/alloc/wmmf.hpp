@@ -1,0 +1,39 @@
+// Weighted Max-Min Fairness (WMMF), the classical single-resource policy
+// [Keshav'97], applied to each resource type independently (paper Sec. II-A).
+//
+// Principles implemented exactly:
+//  1. demands are satisfied in increasing order of demand/weight,
+//  2. nobody receives more than her demand,
+//  3. unsatisfied users share the remainder in proportion to their weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+
+namespace rrf::alloc {
+
+/// Exact single-resource weighted max-min water-filling.
+///
+/// Returns the allocation vector: a_i = min(d_i, lambda * w_i) with lambda
+/// chosen so the allocations exactly exhaust min(capacity, sum d).  Users
+/// with zero weight receive only what is left after weighted users are
+/// satisfied (i.e. their demand when capacity is abundant, else nothing).
+std::vector<double> weighted_max_min(double capacity,
+                                     std::span<const double> demands,
+                                     std::span<const double> weights);
+
+class WmmfAllocator final : public Allocator {
+ public:
+  std::string name() const override { return "wmmf"; }
+
+  /// Runs weighted_max_min per resource type with per-type weights equal to
+  /// the entities' per-type initial shares (allocation proportional to
+  /// payment, as the paper prescribes).
+  AllocationResult allocate(
+      const ResourceVector& capacity,
+      std::span<const AllocationEntity> entities) const override;
+};
+
+}  // namespace rrf::alloc

@@ -1,0 +1,148 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrf::cluster {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kBestFitDominant: return "best-fit-dominant";
+    case PlacementPolicy::kReverseSkewness: return "reverse-skewness";
+  }
+  return "unknown";
+}
+
+double profile_correlation(const std::vector<double>& vm_cpu,
+                           const std::vector<double>& vm_ram,
+                           const std::vector<double>& host_cpu,
+                           const std::vector<double>& host_ram) {
+  // Combine both resource dimensions: the mean of the per-type Pearson
+  // coefficients.  An empty host has no profile yet — neutral.
+  if (host_cpu.empty() || host_ram.empty()) return 0.0;
+  const double c_cpu = pearson(vm_cpu, host_cpu);
+  const double c_ram = pearson(vm_ram, host_ram);
+  return 0.5 * (c_cpu + c_ram);
+}
+
+namespace {
+
+struct HostState {
+  ResourceVector used;
+  std::vector<double> cpu_profile;
+  std::vector<double> ram_profile;
+  std::vector<std::size_t> groups;  // group ids already placed here
+
+  bool fits(const ResourceVector& capacity,
+            const ResourceVector& reserved) const {
+    return (used + reserved).all_le(capacity, 1e-9);
+  }
+
+  bool has_group(std::size_t g) const {
+    return std::find(groups.begin(), groups.end(), g) != groups.end();
+  }
+};
+
+void commit(HostState& host, const PlacementRequest& request) {
+  host.used += request.reserved;
+  if (host.cpu_profile.empty()) {
+    host.cpu_profile.assign(request.cpu_profile.begin(),
+                            request.cpu_profile.end());
+    host.ram_profile.assign(request.ram_profile.begin(),
+                            request.ram_profile.end());
+  } else {
+    RRF_REQUIRE(host.cpu_profile.size() == request.cpu_profile.size() &&
+                    host.ram_profile.size() == request.ram_profile.size(),
+                "placement profiles must share one sampling grid");
+    for (std::size_t s = 0; s < host.cpu_profile.size(); ++s) {
+      host.cpu_profile[s] += request.cpu_profile[s];
+      host.ram_profile[s] += request.ram_profile[s];
+    }
+  }
+  host.groups.push_back(request.group);
+}
+
+}  // namespace
+
+PlacementResult place_vms(const std::vector<ResourceVector>& host_capacity,
+                          const std::vector<PlacementRequest>& requests,
+                          PlacementPolicy policy) {
+  RRF_REQUIRE(!host_capacity.empty(), "no hosts");
+  const std::size_t h = host_capacity.size();
+  std::vector<HostState> hosts(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    hosts[i].used = ResourceVector(host_capacity[i].size());
+  }
+
+  PlacementResult result;
+  result.host_of.resize(requests.size());
+
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const PlacementRequest& request = requests[r];
+    RRF_REQUIRE(request.reserved.all_nonneg(), "negative reservation");
+
+    std::optional<std::size_t> chosen;
+    switch (policy) {
+      case PlacementPolicy::kFirstFit: {
+        for (std::size_t i = 0; i < h; ++i) {
+          if (hosts[i].fits(host_capacity[i], request.reserved)) {
+            chosen = i;
+            break;
+          }
+        }
+        break;
+      }
+      case PlacementPolicy::kBestFitDominant: {
+        // Tightest residual on the VM's dominant dimension.
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < h; ++i) {
+          if (!hosts[i].fits(host_capacity[i], request.reserved)) continue;
+          const std::size_t dom = request.reserved.dominant(host_capacity[i]);
+          const double residual = host_capacity[i][dom] -
+                                  hosts[i].used[dom] - request.reserved[dom];
+          if (residual < best) {
+            best = residual;
+            chosen = i;
+          }
+        }
+        break;
+      }
+      case PlacementPolicy::kReverseSkewness: {
+        // Most anti-correlated host; same-group VMs are spread when an
+        // alternative exists (prefer hosts not already holding the group).
+        double best = std::numeric_limits<double>::infinity();
+        bool best_has_group = true;
+        for (std::size_t i = 0; i < h; ++i) {
+          if (!hosts[i].fits(host_capacity[i], request.reserved)) continue;
+          const double pcc = profile_correlation(
+              request.cpu_profile, request.ram_profile,
+              hosts[i].cpu_profile, hosts[i].ram_profile);
+          const bool has_group = hosts[i].has_group(request.group);
+          // Group spreading dominates; PCC breaks ties.
+          if (std::make_pair(has_group, pcc) <
+              std::make_pair(best_has_group, best)) {
+            best = pcc;
+            best_has_group = has_group;
+            chosen = i;
+          }
+        }
+        break;
+      }
+    }
+
+    result.host_of[r] = chosen;
+    if (chosen) {
+      commit(hosts[*chosen], request);
+      ++result.placed;
+    } else {
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+}  // namespace rrf::cluster

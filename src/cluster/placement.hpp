@@ -1,0 +1,62 @@
+// VM placement / grouping (paper Section V and its VM grouping algorithm).
+//
+// Multi-resource provisioning is a multi-dimensional bin-packing problem;
+// the paper approximates it by placing each VM on the server whose current
+// demand profile has the most *negative* Pearson correlation ("reverse
+// skewness") with the VM's profile — anti-correlated workloads multiplex
+// well and create trading opportunities.  Two classical heuristics are
+// included as ablation baselines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/resource_vector.hpp"
+
+namespace rrf::cluster {
+
+enum class PlacementPolicy {
+  kFirstFit,         ///< first host with enough residual capacity
+  kBestFitDominant,  ///< tightest fit on the VM's dominant resource
+  kReverseSkewness,  ///< most anti-correlated demand profiles (the paper's)
+};
+
+std::string to_string(PlacementPolicy policy);
+
+struct PlacementRequest {
+  /// Capacity the VM reserves on its host: <GHz, GB>.
+  ResourceVector reserved;
+  /// Demand time series used by the skewness policy.  Both series must be
+  /// sampled on the same grid for every request.
+  std::vector<double> cpu_profile;
+  std::vector<double> ram_profile;
+  /// Requests with the same group id prefer to spread across hosts (the
+  /// paper co-locates *different* tenants, not replicas of one).
+  std::size_t group{0};
+};
+
+struct PlacementResult {
+  /// host index per request; empty optional = could not be placed.
+  std::vector<std::optional<std::size_t>> host_of;
+  std::size_t placed{0};
+  std::size_t failed{0};
+
+  bool all_placed() const { return failed == 0; }
+};
+
+/// Places `requests` (in order) onto hosts with the given residual
+/// capacities.  Reservation-based admission: a host can take a VM iff the
+/// sum of reserved vectors stays within its capacity.
+PlacementResult place_vms(const std::vector<ResourceVector>& host_capacity,
+                          const std::vector<PlacementRequest>& requests,
+                          PlacementPolicy policy);
+
+/// Pearson correlation between a VM's profile and a host's aggregate
+/// profile; 0 when the host is empty (no signal).  Exposed for tests.
+double profile_correlation(const std::vector<double>& vm_cpu,
+                           const std::vector<double>& vm_ram,
+                           const std::vector<double>& host_cpu,
+                           const std::vector<double>& host_ram);
+
+}  // namespace rrf::cluster

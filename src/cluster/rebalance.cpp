@@ -1,0 +1,121 @@
+#include "cluster/rebalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rrf::cluster {
+
+double host_pressure(const ResourceVector& capacity,
+                     const ResourceVector& total_demand) {
+  return total_demand.dominant_share(capacity);
+}
+
+namespace {
+
+struct HostState {
+  ResourceVector demand;
+  ResourceVector reserved;
+};
+
+std::vector<double> pressures(
+    const std::vector<ResourceVector>& host_capacity,
+    const std::vector<HostState>& hosts) {
+  std::vector<double> out(hosts.size());
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    out[h] = host_pressure(host_capacity[h], hosts[h].demand);
+  }
+  return out;
+}
+
+}  // namespace
+
+RebalancePlan plan_rebalance(
+    const std::vector<ResourceVector>& host_capacity,
+    const std::vector<VmLoad>& vms, const RebalanceOptions& options) {
+  RRF_REQUIRE(!host_capacity.empty(), "no hosts");
+  const std::size_t p = host_capacity.front().size();
+
+  std::vector<HostState> hosts(host_capacity.size());
+  for (auto& h : hosts) {
+    h.demand = ResourceVector(p);
+    h.reserved = ResourceVector(p);
+  }
+  std::vector<std::size_t> where(vms.size());
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    RRF_REQUIRE(vms[i].host < hosts.size(), "VM on unknown host");
+    hosts[vms[i].host].demand += vms[i].demand;
+    hosts[vms[i].host].reserved += vms[i].reserved;
+    where[i] = vms[i].host;
+  }
+
+  RebalancePlan plan;
+  plan.pressure_before = pressures(host_capacity, hosts);
+
+  for (std::size_t round = 0; round < options.max_migrations; ++round) {
+    const std::vector<double> current = pressures(host_capacity, hosts);
+    const std::size_t hot = static_cast<std::size_t>(
+        std::max_element(current.begin(), current.end()) - current.begin());
+    const std::size_t cold = static_cast<std::size_t>(
+        std::min_element(current.begin(), current.end()) - current.begin());
+    if (current[hot] - current[cold] <= options.pressure_gap_threshold) {
+      break;
+    }
+
+    // Candidate: cheapest VM on the hot host whose move shrinks the gap
+    // and fits the cold host's reservation capacity.
+    std::size_t best = vms.size();
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      if (where[i] != hot) continue;
+      if (!(hosts[cold].reserved + vms[i].reserved)
+               .all_le(host_capacity[cold], 1e-9)) {
+        continue;
+      }
+      const double hot_after = host_pressure(
+          host_capacity[hot], hosts[hot].demand - vms[i].demand);
+      const double cold_after = host_pressure(
+          host_capacity[cold], hosts[cold].demand + vms[i].demand);
+      const double gap_after =
+          std::abs(hot_after - cold_after);
+      if (gap_after >= current[hot] - current[cold]) continue;
+      const double cost = vms[i].demand[Resource::kRam];
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    if (best == vms.size()) break;  // nothing helps
+
+    hosts[hot].demand -= vms[best].demand;
+    hosts[hot].reserved -= vms[best].reserved;
+    hosts[cold].demand += vms[best].demand;
+    hosts[cold].reserved += vms[best].reserved;
+    where[best] = cold;
+    plan.migrations.push_back(Migration{best, hot, cold, best_cost});
+    plan.total_cost_gb += best_cost;
+  }
+
+  plan.pressure_after = pressures(host_capacity, hosts);
+  return plan;
+}
+
+std::size_t suggest_host_count(const ResourceVector& aggregate_demand,
+                               const ResourceVector& host_capacity,
+                               double target_utilization) {
+  RRF_REQUIRE(target_utilization > 0.0 && target_utilization <= 1.0,
+              "target utilization must be in (0, 1]");
+  std::size_t hosts = 1;
+  for (std::size_t k = 0; k < aggregate_demand.size(); ++k) {
+    RRF_REQUIRE(host_capacity[k] > 0.0, "zero host capacity");
+    const double needed =
+        aggregate_demand[k] / (host_capacity[k] * target_utilization);
+    hosts = std::max(hosts,
+                     static_cast<std::size_t>(std::ceil(needed - 1e-12)));
+  }
+  return hosts;
+}
+
+}  // namespace rrf::cluster

@@ -1,0 +1,73 @@
+// Cluster load balancing and pool scaling (paper Section V lists both —
+// "resource pool scaling and load balancing" — among the prototype's
+// components; details lived in the technical-report appendix).
+//
+// plan_rebalance() is an epoch-level greedy balancer: while the pressure
+// gap between the hottest and coldest host exceeds a threshold, migrate
+// the cheapest suitable VM (migration cost ~ its memory footprint) from
+// hot to cold.  It plans only — callers apply the plan by rebuilding the
+// placement, paying the migration cost in their own time model.
+//
+// suggest_host_count() is the pool-scaling helper: how many hosts the GSA
+// should reserve in bulk for a set of tenants at a target utilization.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/resource_vector.hpp"
+
+namespace rrf::cluster {
+
+/// One VM's placement-relevant state for rebalancing.
+struct VmLoad {
+  std::size_t tenant{0};
+  std::size_t vm{0};
+  std::size_t host{0};          ///< current host index
+  ResourceVector demand;        ///< recent average demand (capacity units)
+  ResourceVector reserved;      ///< provisioned capacity (admission check)
+};
+
+struct Migration {
+  std::size_t vm_index{0};  ///< index into the VmLoad vector
+  std::size_t from{0};
+  std::size_t to{0};
+  double cost_gb{0.0};      ///< memory to copy (pre-copy live migration)
+};
+
+struct RebalanceOptions {
+  /// Act only while (hottest - coldest) dominant-share pressure exceeds
+  /// this gap.
+  double pressure_gap_threshold = 0.15;
+  std::size_t max_migrations = 8;
+};
+
+struct RebalancePlan {
+  std::vector<Migration> migrations;
+  /// Per-host dominant-share pressure before/after applying the plan.
+  std::vector<double> pressure_before;
+  std::vector<double> pressure_after;
+  double total_cost_gb{0.0};
+
+  bool empty() const { return migrations.empty(); }
+};
+
+/// Greedy hot-to-cold migration planning.  Never violates reservation
+/// capacity on the target host; prefers the cheapest (smallest-memory) VM
+/// that actually reduces the gap.
+RebalancePlan plan_rebalance(
+    const std::vector<ResourceVector>& host_capacity,
+    const std::vector<VmLoad>& vms, const RebalanceOptions& options = {});
+
+/// Pressure of one host: dominant share of the summed VM demands.
+double host_pressure(const ResourceVector& capacity,
+                     const ResourceVector& total_demand);
+
+/// Pool scaling: smallest host count such that the aggregate demand fits
+/// within `target_utilization` of the aggregate capacity on every
+/// resource type.  Host capacities are assumed uniform.
+std::size_t suggest_host_count(const ResourceVector& aggregate_demand,
+                               const ResourceVector& host_capacity,
+                               double target_utilization = 0.85);
+
+}  // namespace rrf::cluster

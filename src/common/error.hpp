@@ -1,0 +1,53 @@
+// Error handling primitives shared across the RRF library.
+//
+// Policy: programming errors (violated preconditions) throw
+// rrf::PreconditionError; recoverable domain errors (e.g. infeasible
+// allocation requests) throw rrf::DomainError.  Hot loops use
+// RRF_ASSERT which compiles out in release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace rrf {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on recoverable domain failures (infeasible configuration, ...).
+class DomainError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(
+    const char* expr, const std::string& msg,
+    const std::source_location loc = std::source_location::current()) {
+  throw PreconditionError(std::string(loc.file_name()) + ":" +
+                          std::to_string(loc.line()) +
+                          ": requirement failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace rrf
+
+/// Precondition check that stays on in all build types.
+#define RRF_REQUIRE(expr, msg)                      \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::rrf::detail::require_failed(#expr, (msg));  \
+    }                                               \
+  } while (false)
+
+/// Debug-only internal invariant check.
+#ifdef NDEBUG
+#define RRF_ASSERT(expr) ((void)0)
+#else
+#define RRF_ASSERT(expr) RRF_REQUIRE(expr, "internal invariant")
+#endif

@@ -1,0 +1,51 @@
+// Minimal leveled logger.  Benches and examples default to kInfo; tests set
+// kWarn to keep output clean.  Not a general-purpose logging framework —
+// just enough observability for the simulator.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace rrf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe) if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  ((os << std::forward<Args>(args)), ...);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <class... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace rrf

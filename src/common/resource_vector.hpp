@@ -1,0 +1,125 @@
+// ResourceVector: a small dense vector over resource types (CPU, RAM, ...).
+//
+// This is the central value type of the library: demands, shares,
+// allocations, contributions and capacities are all ResourceVectors.  It is
+// dynamically sized (the algorithms are generic over `p` resource types) but
+// optimised for the common p == 2 case via a small inline buffer.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rrf {
+
+class ResourceVector {
+ public:
+  /// Zero vector with `p` resource types (default: CPU + RAM).
+  explicit ResourceVector(std::size_t p = kDefaultResourceCount)
+      : values_(p, 0.0) {}
+
+  /// Construct from explicit per-type values, e.g. `{6.0, 3.0}`.
+  ResourceVector(std::initializer_list<double> init) : values_(init) {
+    RRF_REQUIRE(!values_.empty(), "a resource vector needs >= 1 type");
+  }
+
+  /// Construct from an existing range of values.
+  explicit ResourceVector(std::span<const double> init)
+      : values_(init.begin(), init.end()) {
+    RRF_REQUIRE(!values_.empty(), "a resource vector needs >= 1 type");
+  }
+
+  /// Vector with the same value in every component.
+  static ResourceVector uniform(std::size_t p, double value);
+
+  std::size_t size() const { return values_.size(); }
+
+  double operator[](std::size_t k) const {
+    RRF_ASSERT(k < values_.size());
+    return values_[k];
+  }
+  double& operator[](std::size_t k) {
+    RRF_ASSERT(k < values_.size());
+    return values_[k];
+  }
+  double operator[](Resource r) const {
+    return (*this)[static_cast<std::size_t>(r)];
+  }
+  double& operator[](Resource r) {
+    return (*this)[static_cast<std::size_t>(r)];
+  }
+
+  std::span<const double> values() const { return values_; }
+
+  // ---- arithmetic (element-wise) ----
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  ResourceVector& operator*=(double s);
+  ResourceVector& operator/=(double s);
+  /// Element-wise product / quotient.
+  ResourceVector& hadamard(const ResourceVector& o);
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    return a += b;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    return a -= b;
+  }
+  friend ResourceVector operator*(ResourceVector a, double s) { return a *= s; }
+  friend ResourceVector operator*(double s, ResourceVector a) { return a *= s; }
+  friend ResourceVector operator/(ResourceVector a, double s) { return a /= s; }
+
+  bool operator==(const ResourceVector&) const = default;
+
+  // ---- reductions ----
+  /// Sum of all components (e.g. total shares when the vector is in shares).
+  double sum() const;
+  /// Smallest / largest component.
+  double min() const;
+  double max() const;
+  /// Index of the largest component of `this / reference` — the *dominant*
+  /// resource in DRF terms.  `reference` is typically the system capacity.
+  std::size_t dominant(const ResourceVector& reference) const;
+  /// max_k (this[k] / reference[k]); the (unweighted) dominant share.
+  double dominant_share(const ResourceVector& reference) const;
+
+  // ---- element-wise comparisons ----
+  bool all_le(const ResourceVector& o, double eps = 0.0) const;
+  bool all_ge(const ResourceVector& o, double eps = 0.0) const;
+  bool all_nonneg(double eps = 0.0) const;
+  bool approx_equal(const ResourceVector& o, double eps = 1e-9) const;
+
+  // ---- element-wise builders ----
+  static ResourceVector elementwise_min(const ResourceVector& a,
+                                        const ResourceVector& b);
+  static ResourceVector elementwise_max(const ResourceVector& a,
+                                        const ResourceVector& b);
+  /// Clamp every component into [lo, hi] (component-wise bounds).
+  ResourceVector clamped(const ResourceVector& lo,
+                         const ResourceVector& hi) const;
+  /// max(this - o, 0) per component: the surplus of `this` over `o`.
+  ResourceVector surplus_over(const ResourceVector& o) const;
+  /// max(o - this, 0) per component: the deficit of `this` under `o`.
+  ResourceVector deficit_under(const ResourceVector& o) const;
+
+  /// "⟨6 GHz, 3 GB⟩"-style rendering; unit labels optional.
+  std::string to_string(int precision = 2) const;
+
+ private:
+  void check_same_size(const ResourceVector& o) const {
+    RRF_REQUIRE(values_.size() == o.values_.size(),
+                "resource vectors must have the same arity");
+  }
+
+  std::vector<double> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v);
+
+}  // namespace rrf

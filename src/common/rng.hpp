@@ -1,0 +1,66 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component (workload traces, randomized property tests,
+// scenario generators) takes an explicit Rng so whole experiments are
+// reproducible from a single seed.  `fork(tag)` derives independent child
+// streams so adding a consumer never perturbs the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace rrf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derive an independent stream keyed by `tag` (SplitMix64 of seed ^ tag).
+  Rng fork(std::uint64_t tag) const {
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (tag + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Truncated normal: resampled into [lo, hi] (clamped after 16 attempts).
+  double normal_in(double mu, double sigma, double lo, double hi) {
+    for (int i = 0; i < 16; ++i) {
+      const double x = normal(mu, sigma);
+      if (x >= lo && x <= hi) return x;
+    }
+    const double x = normal(mu, sigma);
+    return x < lo ? lo : (x > hi ? hi : x);
+  }
+
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rrf

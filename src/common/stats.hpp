@@ -1,0 +1,54 @@
+// Statistics helpers: means, dispersion, quantiles, Pearson correlation.
+//
+// Pearson's correlation coefficient is the "skewness" measure the paper's
+// VM-grouping/placement algorithm uses (Section V): VMs whose demand
+// profiles are *anti*-correlated multiplex well on one host.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rrf {
+
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive inputs.  The paper reports
+/// fairness and performance aggregates as geometric means.
+double geometric_mean(std::span<const double> xs);
+
+/// Sample standard deviation (n - 1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson's correlation coefficient in [-1, 1].  Returns 0 when either
+/// series is constant (correlation undefined).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Jain's fairness index of a set of allocations, in (0, 1].
+double jain_index(std::span<const double> xs);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace rrf

@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rrf {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+/// Shared state for one parallel_for call.  Owned via shared_ptr by every
+/// queued task so the last finisher can safely outlive the caller's frame.
+struct ForContext {
+  std::size_t n{};
+  std::size_t chunks{};
+  const std::function<void(std::size_t)>* fn{};
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  /// Steal and run chunks until exhausted.
+  void run() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = c * n / chunks;
+      const std::size_t end = (c + 1) * n / chunks;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {  // avoid queueing overhead for the trivial case
+    fn(0);
+    return;
+  }
+
+  auto ctx = std::make_shared<ForContext>();
+  ctx->n = n;
+  ctx->chunks = std::min(n, thread_count() * 4);
+  ctx->fn = &fn;  // valid: the caller blocks until all chunks are done
+
+  {
+    std::lock_guard lock(mu_);
+    RRF_REQUIRE(!stopping_, "parallel_for on a stopped pool");
+    // One helper task per worker is enough: each steals chunks in a loop.
+    for (std::size_t t = 0; t < thread_count(); ++t) {
+      tasks_.push([ctx] { ctx->run(); });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller participates, then waits for stragglers.  `fn` must stay
+  // alive until done == chunks, which this wait guarantees; the context
+  // itself is kept alive by the queued shared_ptr copies.
+  ctx->run();
+  {
+    std::unique_lock lock(ctx->done_mu);
+    ctx->done_cv.wait(lock,
+                      [&] { return ctx->done.load() == ctx->chunks; });
+  }
+
+  if (ctx->first_error) std::rethrow_exception(ctx->first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rrf

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The simulation engine runs the per-node local allocators (IRT + IWA) in
+// parallel across physical hosts — the same structure the paper deploys
+// (one allocator per node in domain 0).  Benches also use parallel_for for
+// parameter sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rrf {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n), blocking until every iteration completes.
+  /// Exceptions from iterations are rethrown (first one wins) on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_{false};
+};
+
+/// Process-wide pool for library internals (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace rrf

@@ -1,0 +1,71 @@
+// Strong identifier types and resource-kind definitions used everywhere.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rrf {
+
+/// Index of a resource type inside a ResourceVector.  The library is generic
+/// over the number of resource types `p`; the paper's evaluation uses two.
+enum class Resource : std::size_t {
+  kCpu = 0,  ///< CPU capacity, expressed in GHz (or cores x clock).
+  kRam = 1,  ///< Main memory, expressed in GB.
+};
+
+/// Number of resource types used by the paper's evaluation (CPU + RAM).
+inline constexpr std::size_t kDefaultResourceCount = 2;
+
+/// Human-readable name for the two canonical resource types.
+std::string to_string(Resource r);
+inline std::string to_string(Resource r) {
+  switch (r) {
+    case Resource::kCpu: return "CPU";
+    case Resource::kRam: return "RAM";
+  }
+  return "R" + std::to_string(static_cast<std::size_t>(r));
+}
+
+namespace detail {
+/// CRTP-free strong integer id.  Tag makes TenantId/VmId/HostId distinct.
+template <class Tag>
+struct StrongId {
+  std::uint32_t value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Use as a dense array index.
+  constexpr std::size_t index() const { return value; }
+};
+}  // namespace detail
+
+struct TenantTag {};
+struct VmTag {};
+struct HostTag {};
+
+using TenantId = detail::StrongId<TenantTag>;
+using VmId = detail::StrongId<VmTag>;
+using HostId = detail::StrongId<HostTag>;
+
+/// Shares are the normalized currency of the system (payment -> shares via
+/// PricingModel::f1; shares -> capacity via f2).  Fractional shares arise
+/// during redistribution so we use double throughout.
+using Share = double;
+
+/// Simulated wall-clock time in seconds.
+using Seconds = double;
+
+}  // namespace rrf
+
+template <class Tag>
+struct std::hash<rrf::detail::StrongId<Tag>> {
+  std::size_t operator()(const rrf::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,108 @@
+#include "core/experiments.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrf {
+
+sim::ScenarioConfig paper_mix_config(std::size_t replicas,
+                                     std::size_t hosts,
+                                     std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    for (const wl::WorkloadKind kind : wl::paper_workloads()) {
+      config.workloads.push_back(kind);
+    }
+  }
+  config.hosts = hosts;
+  config.seed = seed;
+  return config;
+}
+
+sim::Scenario paper_mix_scenario(std::size_t hosts, std::uint64_t seed,
+                                 double alpha) {
+  return sim::fill_scenario(hosts, wl::paper_workloads(), alpha, seed,
+                            /*max_tenants=*/16);
+}
+
+PolicyComparison compare_policies(
+    const sim::Scenario& scenario, const sim::EngineConfig& engine,
+    const std::vector<sim::PolicyKind>& policies) {
+  RRF_REQUIRE(!policies.empty(), "no policies to compare");
+  PolicyComparison out;
+  out.policies = policies;
+  for (const auto& tenant : scenario.cluster.tenants()) {
+    out.tenant_names.push_back(tenant.name);
+  }
+  for (const sim::PolicyKind policy : policies) {
+    sim::EngineConfig config = engine;
+    config.policy = policy;
+    const sim::SimResult result = sim::run_simulation(scenario, config);
+    std::vector<double> betas, perfs;
+    for (const auto& t : result.tenants) {
+      betas.push_back(t.beta());
+      perfs.push_back(t.mean_perf());
+    }
+    out.beta_geomean.push_back(geometric_mean(betas));
+    out.perf_geomean.push_back(geometric_mean(perfs));
+    out.beta.push_back(std::move(betas));
+    out.perf.push_back(std::move(perfs));
+  }
+  return out;
+}
+
+PolicyComparison compare_policies(
+    const sim::ScenarioConfig& scenario, const sim::EngineConfig& engine,
+    const std::vector<sim::PolicyKind>& policies) {
+  return compare_policies(sim::build_scenario(scenario), engine, policies);
+}
+
+AlphaSweep alpha_sweep(std::size_t hosts,
+                       const std::vector<wl::WorkloadKind>& cycle,
+                       const std::vector<double>& alphas,
+                       const sim::EngineConfig& engine,
+                       const std::vector<sim::PolicyKind>& policies,
+                       std::uint64_t seed) {
+  RRF_REQUIRE(!alphas.empty() && !policies.empty(), "empty sweep");
+  AlphaSweep sweep;
+  sweep.policies = policies;
+
+  // alpha*: provisioning at peak demand (per-workload worst ratio).
+  sim::ScenarioConfig probe;
+  probe.workloads = cycle;
+  probe.seed = seed;
+  sweep.alpha_star = sim::peak_alpha(probe);
+
+  // Reference packing: how many VMs fit when provisioning at peak.
+  const sim::Scenario reference =
+      sim::fill_scenario(hosts, cycle, sweep.alpha_star, seed);
+  std::size_t reference_vms = 0;
+  for (const auto& t : reference.cluster.tenants()) {
+    reference_vms += t.vms.size();
+  }
+
+  for (const double alpha : alphas) {
+    AlphaPoint point;
+    point.alpha = alpha;
+    point.cost_reduction = 1.0 - alpha / sweep.alpha_star;
+
+    const sim::Scenario scenario =
+        sim::fill_scenario(hosts, cycle, alpha, seed);
+    for (const auto& t : scenario.cluster.tenants()) {
+      point.placed_vms += t.vms.size();
+    }
+    point.vm_density = static_cast<double>(point.placed_vms) /
+                       static_cast<double>(reference_vms);
+
+    for (const sim::PolicyKind policy : policies) {
+      sim::EngineConfig config = engine;
+      config.policy = policy;
+      const sim::SimResult result = sim::run_simulation(scenario, config);
+      point.perf_geomean.push_back(result.perf_geomean());
+    }
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+}  // namespace rrf

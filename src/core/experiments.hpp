@@ -1,0 +1,74 @@
+// Experiment drivers shared by the bench binaries: policy comparisons on a
+// fixed scenario (Figs. 6/7) and alpha sweeps (Figs. 8/9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rrf_system.hpp"
+
+namespace rrf {
+
+/// The evaluation deployment used by the Fig. 6/7 benches: `replicas`
+/// tenants of each of the four paper workloads, packed on enough paper
+/// hosts, alpha = 1 (each VM provisioned at its average demand).
+sim::ScenarioConfig paper_mix_config(std::size_t replicas = 2,
+                                     std::size_t hosts = 2,
+                                     std::uint64_t seed = 42);
+
+/// The paper's admission methodology applied to the four-workload cycle:
+/// whole tenants are packed one by one until no further tenant fits, so
+/// every admitted VM is placed (no partial tenants).
+sim::Scenario paper_mix_scenario(std::size_t hosts = 2,
+                                 std::uint64_t seed = 42,
+                                 double alpha = 1.0);
+
+/// Fig. 6/7 data: per-policy, per-tenant beta and normalized performance.
+struct PolicyComparison {
+  std::vector<sim::PolicyKind> policies;
+  std::vector<std::string> tenant_names;
+  /// [policy][tenant]
+  std::vector<std::vector<double>> beta;
+  std::vector<std::vector<double>> perf;
+  /// Geometric means per policy.
+  std::vector<double> beta_geomean;
+  std::vector<double> perf_geomean;
+};
+
+PolicyComparison compare_policies(const sim::ScenarioConfig& scenario,
+                                  const sim::EngineConfig& engine,
+                                  const std::vector<sim::PolicyKind>& policies);
+
+/// Overload running the policies on an already-built scenario (identical
+/// traces and placement across policies).
+PolicyComparison compare_policies(const sim::Scenario& scenario,
+                                  const sim::EngineConfig& engine,
+                                  const std::vector<sim::PolicyKind>& policies);
+
+/// One alpha point of the Fig. 8/9 sweep.
+struct AlphaPoint {
+  double alpha{0.0};
+  double vm_density{0.0};     ///< placed VMs relative to the alpha* packing
+  std::size_t placed_vms{0};
+  double cost_reduction{0.0}; ///< 1 - alpha/alpha*
+  /// [policy] geometric-mean normalized performance.
+  std::vector<double> perf_geomean;
+};
+
+struct AlphaSweep {
+  double alpha_star{0.0};
+  std::vector<sim::PolicyKind> policies;
+  std::vector<AlphaPoint> points;
+};
+
+/// Runs the VM-density / cost trade-off experiment: for each alpha, packs
+/// tenants until the cluster is full (the paper's admission methodology),
+/// then measures performance under every policy.
+AlphaSweep alpha_sweep(std::size_t hosts,
+                       const std::vector<wl::WorkloadKind>& cycle,
+                       const std::vector<double>& alphas,
+                       const sim::EngineConfig& engine,
+                       const std::vector<sim::PolicyKind>& policies,
+                       std::uint64_t seed = 42);
+
+}  // namespace rrf

@@ -1,0 +1,35 @@
+#include "core/rrf_system.hpp"
+
+namespace rrf {
+
+RrfSystem::RrfSystem(sim::ScenarioConfig scenario_config,
+                     sim::EngineConfig engine_config)
+    : scenario_config_(std::move(scenario_config)),
+      engine_config_(engine_config),
+      scenario_(sim::build_scenario(scenario_config_)) {}
+
+sim::SimResult RrfSystem::run(sim::PolicyKind policy) const {
+  sim::EngineConfig config = engine_config_;
+  config.policy = policy;
+  return sim::run_simulation(scenario_, config);
+}
+
+std::vector<sim::SimResult> RrfSystem::compare(
+    const std::vector<sim::PolicyKind>& policies) const {
+  std::vector<sim::SimResult> results;
+  results.reserve(policies.size());
+  for (const sim::PolicyKind policy : policies) {
+    results.push_back(run(policy));
+  }
+  return results;
+}
+
+std::size_t RrfSystem::placed_vm_count() const {
+  std::size_t total = 0;
+  for (const auto& tenant : scenario_.cluster.tenants()) {
+    total += tenant.vms.size();
+  }
+  return total - scenario_.unplaced.size();
+}
+
+}  // namespace rrf

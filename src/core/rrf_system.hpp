@@ -1,0 +1,52 @@
+// RrfSystem: the top-level public API of the library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   rrf::sim::ScenarioConfig scenario;
+//   scenario.workloads = rrf::wl::paper_workloads();
+//   scenario.alpha = 1.0;
+//
+//   rrf::RrfSystem system(scenario);
+//   auto result = system.run(rrf::sim::PolicyKind::kRrf);
+//   std::cout << result.fairness_geomean() << "\n";
+//
+// For one-shot allocation decisions without a simulation, use the
+// allocators in alloc/ directly (alloc::RrfAllocator etc.).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace rrf {
+
+class RrfSystem {
+ public:
+  /// Builds the cluster, profiles the workloads, sizes and places the VMs.
+  explicit RrfSystem(sim::ScenarioConfig scenario_config,
+                     sim::EngineConfig engine_config = {});
+
+  const sim::Scenario& scenario() const { return scenario_; }
+  const sim::ScenarioConfig& scenario_config() const {
+    return scenario_config_;
+  }
+  sim::EngineConfig& engine_config() { return engine_config_; }
+
+  /// Runs one policy over the scenario.
+  sim::SimResult run(sim::PolicyKind policy) const;
+
+  /// Runs several policies over the *same* scenario (identical traces).
+  std::vector<sim::SimResult> compare(
+      const std::vector<sim::PolicyKind>& policies) const;
+
+  /// Number of VMs that were actually placed.
+  std::size_t placed_vm_count() const;
+
+ private:
+  sim::ScenarioConfig scenario_config_;
+  sim::EngineConfig engine_config_;
+  sim::Scenario scenario_;
+};
+
+}  // namespace rrf

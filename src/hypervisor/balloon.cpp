@@ -1,0 +1,99 @@
+#include "hypervisor/balloon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+
+BalloonDriver::BalloonDriver(double rate_gb_per_s, double min_gb)
+    : rate_gb_per_s_(rate_gb_per_s), min_gb_(min_gb) {
+  RRF_REQUIRE(rate_gb_per_s > 0.0, "balloon rate must be positive");
+  RRF_REQUIRE(min_gb >= 0.0, "negative memory floor");
+}
+
+std::size_t BalloonDriver::add_vm(double initial_gb, double max_gb) {
+  RRF_REQUIRE(initial_gb >= min_gb_, "initial memory below the floor");
+  RRF_REQUIRE(max_gb >= initial_gb, "max_memory below the boot allocation");
+  vms_.push_back(Vm{initial_gb, initial_gb, max_gb});
+  return vms_.size() - 1;
+}
+
+void BalloonDriver::set_target(std::size_t vm, double target_gb) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  // Ballooning cannot exceed the boot-time ceiling nor drop below the floor.
+  vms_[vm].target_gb = std::clamp(target_gb, min_gb_, vms_[vm].max_gb);
+}
+
+void BalloonDriver::step(Seconds dt) {
+  RRF_REQUIRE(dt >= 0.0, "negative time step");
+  const double max_move = rate_gb_per_s_ * dt;
+  for (Vm& vm : vms_) {
+    const double delta = vm.target_gb - vm.current_gb;
+    vm.current_gb += std::clamp(delta, -max_move, max_move);
+  }
+}
+
+double BalloonDriver::allocated(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].current_gb;
+}
+
+double BalloonDriver::target(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].target_gb;
+}
+
+double BalloonDriver::max_memory(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].max_gb;
+}
+
+MemoryHotplug::MemoryHotplug(double rate_gb_per_s, double block_gb,
+                             double min_gb)
+    : rate_gb_per_s_(rate_gb_per_s), block_gb_(block_gb), min_gb_(min_gb) {
+  RRF_REQUIRE(rate_gb_per_s > 0.0, "hotplug rate must be positive");
+  RRF_REQUIRE(block_gb > 0.0, "block size must be positive");
+}
+
+std::size_t MemoryHotplug::add_vm(double initial_gb, double /*max_gb*/) {
+  RRF_REQUIRE(initial_gb >= min_gb_, "initial memory below the floor");
+  vms_.push_back(Vm{initial_gb, initial_gb});
+  return vms_.size() - 1;
+}
+
+void MemoryHotplug::set_target(std::size_t vm, double target_gb) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  // Hotplug has no ceiling; targets land on block boundaries.
+  const double clamped = std::max(target_gb, min_gb_);
+  vms_[vm].target_gb = std::round(clamped / block_gb_) * block_gb_;
+}
+
+void MemoryHotplug::step(Seconds dt) {
+  RRF_REQUIRE(dt >= 0.0, "negative time step");
+  // Whole blocks move; the per-step budget is rate * dt rounded down to a
+  // block multiple (at least one block when any move is pending).
+  const double budget = rate_gb_per_s_ * dt;
+  for (Vm& vm : vms_) {
+    const double delta = vm.target_gb - vm.current_gb;
+    if (delta == 0.0) continue;
+    double blocks = std::floor(budget / block_gb_);
+    if (blocks < 1.0) blocks = 1.0;
+    const double max_move = blocks * block_gb_;
+    const double move = std::clamp(delta, -max_move, max_move);
+    vm.current_gb += move;
+  }
+}
+
+double MemoryHotplug::allocated(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].current_gb;
+}
+
+double MemoryHotplug::target(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].target_gb;
+}
+
+}  // namespace rrf::hv

@@ -1,0 +1,93 @@
+// Simulated memory actuators (paper Section V).
+//
+// BalloonDriver models Xen ballooning: the hypervisor inflates a balloon
+// inside the guest to reclaim pages (shrinking the VM) or deflates it to
+// give memory back.  Two physical constraints are modelled:
+//  * a VM can never grow past its boot-time `max_memory`;
+//  * balloon movement is rate-limited (page scanning / zeroing costs), so a
+//    retarget takes effect over multiple steps.
+//
+// MemoryHotplug models the authors' hotplug extension [Liu et al., TPDS'14]
+// that removes the max_memory ceiling and moves memory in coarse blocks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rrf::hv {
+
+/// Common interface so the node can drive either actuator.
+class MemoryActuator {
+ public:
+  virtual ~MemoryActuator() = default;
+
+  /// Registers a VM with its boot allocation; returns a dense index.
+  virtual std::size_t add_vm(double initial_gb, double max_gb) = 0;
+  virtual std::size_t vm_count() const = 0;
+
+  /// Requests a new memory size (GB); clamped to the actuator's limits.
+  virtual void set_target(std::size_t vm, double target_gb) = 0;
+
+  /// Advances time; memory moves toward targets at the actuation rate.
+  virtual void step(Seconds dt) = 0;
+
+  /// Memory currently backing the VM (GB).
+  virtual double allocated(std::size_t vm) const = 0;
+  virtual double target(std::size_t vm) const = 0;
+};
+
+class BalloonDriver final : public MemoryActuator {
+ public:
+  /// `rate_gb_per_s`: how fast the balloon can move memory per VM.
+  /// `min_gb`: the guest's working floor (cannot balloon below it).
+  explicit BalloonDriver(double rate_gb_per_s = 0.5, double min_gb = 0.125);
+
+  std::size_t add_vm(double initial_gb, double max_gb) override;
+  std::size_t vm_count() const override { return vms_.size(); }
+  void set_target(std::size_t vm, double target_gb) override;
+  void step(Seconds dt) override;
+  double allocated(std::size_t vm) const override;
+  double target(std::size_t vm) const override;
+
+  double max_memory(std::size_t vm) const;
+
+ private:
+  struct Vm {
+    double current_gb;
+    double target_gb;
+    double max_gb;  // ballooning ceiling (boot-time max_memory)
+  };
+  double rate_gb_per_s_;
+  double min_gb_;
+  std::vector<Vm> vms_;
+};
+
+class MemoryHotplug final : public MemoryActuator {
+ public:
+  /// Hotplug moves whole blocks (default 128 MiB) and has no ceiling.
+  explicit MemoryHotplug(double rate_gb_per_s = 2.0,
+                         double block_gb = 0.125, double min_gb = 0.125);
+
+  std::size_t add_vm(double initial_gb, double max_gb) override;
+  std::size_t vm_count() const override { return vms_.size(); }
+  void set_target(std::size_t vm, double target_gb) override;
+  void step(Seconds dt) override;
+  double allocated(std::size_t vm) const override;
+  double target(std::size_t vm) const override;
+
+  double block_size() const { return block_gb_; }
+
+ private:
+  struct Vm {
+    double current_gb;
+    double target_gb;
+  };
+  double rate_gb_per_s_;
+  double block_gb_;
+  double min_gb_;
+  std::vector<Vm> vms_;
+};
+
+}  // namespace rrf::hv

@@ -1,0 +1,55 @@
+#include "hypervisor/cgroup.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+
+CgroupMemoryController::CgroupMemoryController(double reclaim_gb_per_s,
+                                               double min_gb)
+    : reclaim_gb_per_s_(reclaim_gb_per_s), min_gb_(min_gb) {
+  RRF_REQUIRE(reclaim_gb_per_s > 0.0, "reclaim rate must be positive");
+  RRF_REQUIRE(min_gb >= 0.0, "negative memory floor");
+}
+
+std::size_t CgroupMemoryController::add_vm(double initial_gb,
+                                           double /*max_gb*/) {
+  RRF_REQUIRE(initial_gb >= min_gb_, "initial memory below the floor");
+  vms_.push_back(Vm{initial_gb, initial_gb});
+  return vms_.size() - 1;
+}
+
+void CgroupMemoryController::set_target(std::size_t vm, double target_gb) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown container");
+  // No ceiling: containers can grow to whatever the host allows.
+  vms_[vm].target_gb = std::max(target_gb, min_gb_);
+  // Growth is immediate (raising memory.high just permits allocation).
+  if (vms_[vm].target_gb > vms_[vm].current_gb) {
+    vms_[vm].current_gb = vms_[vm].target_gb;
+  }
+}
+
+void CgroupMemoryController::step(Seconds dt) {
+  RRF_REQUIRE(dt >= 0.0, "negative time step");
+  // Shrinking proceeds at direct-reclaim speed.
+  const double max_reclaim = reclaim_gb_per_s_ * dt;
+  for (Vm& vm : vms_) {
+    if (vm.current_gb > vm.target_gb) {
+      vm.current_gb =
+          std::max(vm.target_gb, vm.current_gb - max_reclaim);
+    }
+  }
+}
+
+double CgroupMemoryController::allocated(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown container");
+  return vms_[vm].current_gb;
+}
+
+double CgroupMemoryController::target(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown container");
+  return vms_[vm].target_gb;
+}
+
+}  // namespace rrf::hv

@@ -1,0 +1,44 @@
+// Container (cgroup-style) memory controller — the paper's Section V
+// conjecture that RRF "is also applicable for container-based resource
+// fair sharing", made concrete.
+//
+// Containers differ from VM ballooning in three ways that matter to the
+// allocation loop:
+//  * retargeting is near-instant (writing memory.high triggers direct
+//    reclaim; no guest balloon driver round-trip),
+//  * there is no boot-time max_memory ceiling,
+//  * reclaim below the working set is possible but increasingly expensive
+//    (we model a fast but finite reclaim rate).
+#pragma once
+
+#include <vector>
+
+#include "hypervisor/balloon.hpp"
+
+namespace rrf::hv {
+
+class CgroupMemoryController final : public MemoryActuator {
+ public:
+  /// `grow_instant`: raising memory.high takes effect immediately.
+  /// `reclaim_gb_per_s`: shrinking is bounded by direct-reclaim speed.
+  explicit CgroupMemoryController(double reclaim_gb_per_s = 8.0,
+                                  double min_gb = 0.0625);
+
+  std::size_t add_vm(double initial_gb, double max_gb) override;
+  std::size_t vm_count() const override { return vms_.size(); }
+  void set_target(std::size_t vm, double target_gb) override;
+  void step(Seconds dt) override;
+  double allocated(std::size_t vm) const override;
+  double target(std::size_t vm) const override;
+
+ private:
+  struct Vm {
+    double current_gb;
+    double target_gb;
+  };
+  double reclaim_gb_per_s_;
+  double min_gb_;
+  std::vector<Vm> vms_;
+};
+
+}  // namespace rrf::hv

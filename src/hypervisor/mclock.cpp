@@ -1,0 +1,134 @@
+#include "hypervisor/mclock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+
+MclockScheduler::MclockScheduler(double capacity_iops)
+    : capacity_iops_(capacity_iops) {
+  RRF_REQUIRE(capacity_iops > 0.0, "storage capacity must be positive");
+}
+
+void MclockScheduler::check_admission(double new_total_reservation) const {
+  RRF_REQUIRE(new_total_reservation <= capacity_iops_ + 1e-9,
+              "sum of reservations exceeds backend capacity");
+}
+
+std::size_t MclockScheduler::add_vm(double weight, double reservation_iops,
+                                    double limit_iops) {
+  RRF_REQUIRE(weight > 0.0, "VM weight must be positive");
+  RRF_REQUIRE(reservation_iops >= 0.0, "negative reservation");
+  if (limit_iops > 0.0) {
+    RRF_REQUIRE(reservation_iops <= limit_iops,
+                "reservation must not exceed the limit");
+  }
+  double total = reservation_iops;
+  for (const Vm& vm : vms_) total += vm.reservation;
+  check_admission(total);
+  vms_.push_back(Vm{weight, reservation_iops, limit_iops});
+  return vms_.size() - 1;
+}
+
+void MclockScheduler::set_weight(std::size_t vm, double weight) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  RRF_REQUIRE(weight > 0.0, "VM weight must be positive");
+  vms_[vm].weight = weight;
+}
+
+void MclockScheduler::set_reservation(std::size_t vm,
+                                      double reservation_iops) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  RRF_REQUIRE(reservation_iops >= 0.0, "negative reservation");
+  double total = 0.0;
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    total += i == vm ? reservation_iops : vms_[i].reservation;
+  }
+  check_admission(total);
+  vms_[vm].reservation = reservation_iops;
+}
+
+void MclockScheduler::set_limit(std::size_t vm, double limit_iops) {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  vms_[vm].limit = limit_iops;
+}
+
+double MclockScheduler::weight(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].weight;
+}
+
+double MclockScheduler::reservation(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].reservation;
+}
+
+double MclockScheduler::limit(std::size_t vm) const {
+  RRF_REQUIRE(vm < vms_.size(), "unknown VM");
+  return vms_[vm].limit;
+}
+
+std::vector<double> MclockScheduler::schedule(
+    std::span<const double> demand_iops, double window_s) const {
+  RRF_REQUIRE(demand_iops.size() == vms_.size(),
+              "one demand per registered VM required");
+  RRF_REQUIRE(window_s > 0.0, "positive window required");
+  const std::size_t n = vms_.size();
+
+  // Remaining requests per VM and the three per-VM tag clocks.
+  std::vector<double> remaining(n);
+  std::vector<double> r_tag(n, 0.0), l_tag(n, 0.0), p_tag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    RRF_REQUIRE(demand_iops[i] >= 0.0, "negative demand");
+    remaining[i] = std::floor(demand_iops[i] * window_s);
+  }
+
+  std::vector<double> served(n, 0.0);
+  const double dt = 1.0 / capacity_iops_;  // one backend completion
+  const auto completions =
+      static_cast<std::size_t>(capacity_iops_ * window_s);
+
+  double now = 0.0;
+  for (std::size_t k = 0; k < completions; ++k, now += dt) {
+    // Phase 1 — constraint-based: any VM whose reservation tag is due.
+    std::size_t pick = n;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (remaining[i] <= 0.0 || vms_[i].reservation <= 0.0) continue;
+      if (r_tag[i] <= now + 1e-12 && r_tag[i] < best) {
+        best = r_tag[i];
+        pick = i;
+      }
+    }
+    if (pick < n) {
+      r_tag[pick] += 1.0 / vms_[pick].reservation;
+    } else {
+      // Phase 2 — weight-based: smallest proportional-share tag among
+      // VMs whose limit tag is due.
+      best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (remaining[i] <= 0.0) continue;
+        if (vms_[i].limit > 0.0 && l_tag[i] > now + 1e-12) continue;
+        if (p_tag[i] < best) {
+          best = p_tag[i];
+          pick = i;
+        }
+      }
+      if (pick == n) continue;  // everything idle or throttled
+      p_tag[pick] += 1.0 / vms_[pick].weight;
+    }
+    if (vms_[pick].limit > 0.0) {
+      l_tag[pick] += 1.0 / vms_[pick].limit;
+    }
+    remaining[pick] -= 1.0;
+    served[pick] += 1.0;
+  }
+
+  for (double& s : served) s /= window_s;
+  return served;
+}
+
+}  // namespace rrf::hv

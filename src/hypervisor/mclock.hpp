@@ -1,0 +1,66 @@
+// mClock I/O scheduler [Gulati, Merchant, Varman — OSDI'10], the
+// hypervisor I/O-QoS mechanism the paper cites ([22]) for single-resource
+// fairness, implemented as the actuator a third resource type (disk IOPS)
+// plugs into.
+//
+// Each VM gets three controls:
+//   * reservation R — minimum IOPS, honoured before anything else;
+//   * limit L       — hard IOPS cap (0 = uncapped);
+//   * weight w      — proportional share of what remains.
+//
+// The real scheduler assigns three tags per request (reservation tags
+// spaced 1/R, limit tags spaced 1/L, share tags spaced 1/w) and
+// dispatches: first any VM whose reservation tag is due, else the
+// smallest share tag among VMs whose limit tag is due.  schedule()
+// simulates that dispatch loop request by request over a window.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rrf::hv {
+
+class MclockScheduler {
+ public:
+  /// `capacity_iops`: aggregate throughput of the storage backend.
+  explicit MclockScheduler(double capacity_iops);
+
+  /// Registers a VM; returns its dense index.  `limit_iops <= 0` means
+  /// uncapped.  Requires reservation <= limit when both set, and the sum
+  /// of reservations must not exceed capacity (admission control).
+  std::size_t add_vm(double weight, double reservation_iops = 0.0,
+                     double limit_iops = 0.0);
+
+  std::size_t vm_count() const { return vms_.size(); }
+  double capacity() const { return capacity_iops_; }
+
+  void set_weight(std::size_t vm, double weight);
+  void set_reservation(std::size_t vm, double reservation_iops);
+  void set_limit(std::size_t vm, double limit_iops);
+  double weight(std::size_t vm) const;
+  double reservation(std::size_t vm) const;
+  double limit(std::size_t vm) const;
+
+  /// Dispatches one window of requests: `demand_iops[i]` is VM i's
+  /// offered load.  Returns the IOPS each VM actually receives.  Exact
+  /// tag-based simulation over `window_s` seconds.
+  std::vector<double> schedule(std::span<const double> demand_iops,
+                               double window_s = 1.0) const;
+
+ private:
+  struct Vm {
+    double weight{1.0};
+    double reservation{0.0};
+    double limit{0.0};  // <= 0: uncapped
+  };
+
+  void check_admission(double new_total_reservation) const;
+
+  double capacity_iops_;
+  std::vector<Vm> vms_;
+};
+
+}  // namespace rrf::hv

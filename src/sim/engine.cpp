@@ -1,0 +1,542 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+
+#include "alloc/drf.hpp"
+#include "alloc/iwa.hpp"
+#include "alloc/rrf.hpp"
+#include "alloc/tshirt.hpp"
+#include "alloc/wmmf.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "hypervisor/node.hpp"
+
+namespace rrf::sim {
+
+std::string to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kTshirt: return "tshirt";
+    case PolicyKind::kWmmf: return "wmmf";
+    case PolicyKind::kDrf: return "drf";
+    case PolicyKind::kDrfSeq: return "drf-seq";
+    case PolicyKind::kIwaOnly: return "iwa";
+    case PolicyKind::kRrf: return "rrf";
+    case PolicyKind::kRrfSp: return "rrf-sp";
+    case PolicyKind::kRrfLt: return "rrf-lt";
+  }
+  return "unknown";
+}
+
+PolicyKind policy_from_string(const std::string& name) {
+  if (name == "tshirt") return PolicyKind::kTshirt;
+  if (name == "wmmf") return PolicyKind::kWmmf;
+  if (name == "drf") return PolicyKind::kDrf;
+  if (name == "drf-seq") return PolicyKind::kDrfSeq;
+  if (name == "iwa") return PolicyKind::kIwaOnly;
+  if (name == "rrf") return PolicyKind::kRrf;
+  if (name == "rrf-sp") return PolicyKind::kRrfSp;
+  if (name == "rrf-lt") return PolicyKind::kRrfLt;
+  throw DomainError("unknown policy: " + name);
+}
+
+std::vector<PolicyKind> paper_policies() {
+  return {PolicyKind::kTshirt, PolicyKind::kWmmf, PolicyKind::kDrf,
+          PolicyKind::kIwaOnly, PolicyKind::kRrf};
+}
+
+namespace {
+
+/// One VM placed on a node, together with its slot-local state (which
+/// travels with the VM when the load balancer migrates it).
+struct VmSlot {
+  std::size_t tenant;
+  std::size_t vm;
+  ResourceVector initial_share;  // in shares
+  DemandPredictor predictor;
+  /// Smoothed demand estimate (capacity units) the rebalancer plans on.
+  ResourceVector demand_ema{0.0, 0.0};
+  /// Remaining windows of post-migration degradation.
+  std::size_t migration_penalty{0};
+};
+
+/// Per-node simulation state.
+struct NodeState {
+  std::vector<VmSlot> slots;
+  std::unique_ptr<hv::HypervisorNode> hv_node;
+  // Scratch, refreshed every window:
+  std::vector<ResourceVector> actual_demand;      // capacity units
+  std::vector<ResourceVector> entitlement_shares; // shares
+  std::vector<ResourceVector> realized;           // capacity units
+  double alloc_seconds{0.0};
+  std::size_t alloc_invocations{0};
+};
+
+/// Computes share entitlements for one node and one window.
+/// `tenant_banked` (indexed by tenant id) carries the rrf-lt contribution
+/// bank; empty for every other policy.
+std::vector<ResourceVector> allocate_entitlements(
+    PolicyKind policy, const ResourceVector& pool_shares,
+    const std::vector<VmSlot>& slots,
+    const std::vector<ResourceVector>& demand_shares,
+    std::span<const double> tenant_banked) {
+  const std::size_t n = slots.size();
+
+  // Flat policies view every VM as one entity.
+  auto flat_entities = [&] {
+    std::vector<alloc::AllocationEntity> entities(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      entities[i].initial_share = slots[i].initial_share;
+      entities[i].demand = demand_shares[i];
+      entities[i].weight = slots[i].initial_share.sum();
+    }
+    return entities;
+  };
+
+  // Hierarchical policies group a tenant's VMs (in slot order).
+  auto tenant_groups = [&] {
+    std::map<std::size_t, alloc::TenantGroup> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+      alloc::AllocationEntity e;
+      e.initial_share = slots[i].initial_share;
+      e.demand = demand_shares[i];
+      alloc::TenantGroup& group = groups[slots[i].tenant];
+      group.vms.push_back(std::move(e));
+      if (slots[i].tenant < tenant_banked.size()) {
+        group.banked_contribution = tenant_banked[slots[i].tenant];
+      }
+    }
+    return groups;
+  };
+
+  // Map grouped VM allocations back to slot order.
+  auto ungroup = [&](const std::map<std::size_t, alloc::TenantGroup>& groups,
+                     const std::vector<std::vector<ResourceVector>>& alloc) {
+    std::map<std::size_t, std::pair<std::size_t, std::size_t>> cursor;
+    std::size_t g = 0;
+    for (const auto& [tenant, group] : groups) {
+      (void)group;
+      cursor[tenant] = {g++, 0};
+    }
+    std::vector<ResourceVector> out(n, ResourceVector(pool_shares.size()));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& [gi, vi] = cursor[slots[i].tenant];
+      out[i] = alloc[gi][vi++];
+    }
+    return out;
+  };
+
+  switch (policy) {
+    case PolicyKind::kTshirt: {
+      std::vector<ResourceVector> out;
+      out.reserve(n);
+      for (const auto& s : slots) out.push_back(s.initial_share);
+      return out;
+    }
+    case PolicyKind::kWmmf:
+      return alloc::WmmfAllocator{}.allocate(pool_shares, flat_entities())
+          .allocations;
+    case PolicyKind::kDrf:
+      return alloc::DrfAllocator{}.allocate(pool_shares, flat_entities())
+          .allocations;
+    case PolicyKind::kDrfSeq:
+      return alloc::SequentialDrfAllocator{}
+          .allocate(pool_shares, flat_entities())
+          .allocations;
+    case PolicyKind::kIwaOnly: {
+      // Tenant entitlement is static (its own shares); IWA moves shares
+      // between the tenant's VMs only.
+      const auto groups = tenant_groups();
+      std::vector<std::vector<ResourceVector>> per_group;
+      per_group.reserve(groups.size());
+      for (const auto& [tenant, group] : groups) {
+        (void)tenant;
+        ResourceVector tenant_total(pool_shares.size());
+        for (const auto& vmE : group.vms) tenant_total += vmE.initial_share;
+        per_group.push_back(
+            alloc::iwa_distribute(tenant_total, group.vms).allocations);
+      }
+      return ungroup(groups, per_group);
+    }
+    case PolicyKind::kRrf:
+    case PolicyKind::kRrfSp:
+    case PolicyKind::kRrfLt: {
+      alloc::IrtOptions options;
+      options.cap_gain_at_contribution = policy == PolicyKind::kRrfSp;
+      const alloc::RrfAllocator rrf{options};
+      const auto groups = tenant_groups();
+      std::vector<alloc::TenantGroup> group_list;
+      group_list.reserve(groups.size());
+      for (const auto& [tenant, group] : groups) {
+        (void)tenant;
+        group_list.push_back(group);
+      }
+      const alloc::HierarchicalResult hr =
+          rrf.allocate_hierarchical(pool_shares, group_list);
+      return ungroup(groups, hr.vm_allocations);
+    }
+  }
+  throw DomainError("unhandled policy");
+}
+
+}  // namespace
+
+SimResult run_simulation(const Scenario& scenario,
+                         const EngineConfig& config) {
+  RRF_REQUIRE(config.window > 0.0 && config.duration >= config.window,
+              "bad window/duration");
+  const auto& cl = scenario.cluster;
+  const PricingModel& pricing = cl.pricing();
+  const std::size_t tenant_count = cl.tenants().size();
+  const std::size_t host_count = cl.hosts().size();
+
+  const std::set<std::pair<std::size_t, std::size_t>> unplaced(
+      scenario.unplaced.begin(), scenario.unplaced.end());
+
+  // ---- build per-node state ----
+  // (Re)creates a node's hypervisor facade from its current slot list;
+  // also used after live migrations reshuffle the slots.
+  auto rebuild_hv = [&](NodeState& node, std::size_t h) {
+    hv::HypervisorNode::Config hv_config;
+    hv_config.capacity = cl.hosts()[h].capacity;
+    hv_config.pricing = pricing;
+    hv_config.memory_backend = config.memory_backend;
+    hv_config.balloon_rate_gb_s = config.balloon_rate_gb_s;
+    hv_config.use_sliced_scheduler = config.use_sliced_scheduler;
+    node.hv_node = std::make_unique<hv::HypervisorNode>(hv_config);
+    for (const VmSlot& slot : node.slots) {
+      const auto& vm = cl.tenants()[slot.tenant].vms[slot.vm];
+      node.hv_node->add_vm(vm.vcpus, vm.provisioned, vm.max_mem_gb);
+    }
+  };
+
+  std::vector<NodeState> nodes(host_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    const auto& vms = cl.tenants()[t].vms;
+    for (std::size_t j = 0; j < vms.size(); ++j) {
+      if (unplaced.contains({t, j})) continue;
+      NodeState& node = nodes[scenario.host_of[t][j]];
+      node.slots.push_back(
+          VmSlot{t, j, cl.vm_shares(t, j),
+                 DemandPredictor(kDefaultResourceCount, config.predictor),
+                 ResourceVector(kDefaultResourceCount), 0});
+    }
+  }
+  for (std::size_t h = 0; h < host_count; ++h) rebuild_hv(nodes[h], h);
+
+  // ---- per-tenant metrics ----
+  SimResult result;
+  result.policy = to_string(config.policy);
+  result.window = config.window;
+  result.tenants.reserve(tenant_count);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    result.tenants.emplace_back(cl.tenants()[t].name, cl.tenant_shares(t));
+  }
+
+  const wl::PerfModel perf(config.perf);
+  const auto windows =
+      static_cast<std::size_t>(config.duration / config.window);
+  ResourceVector used_total(kDefaultResourceCount);
+  ResourceVector capacity_total = cl.total_capacity();
+
+  // Per-window per-tenant aggregates (filled by the node loop).
+  std::vector<ResourceVector> tenant_granted(
+      tenant_count, ResourceVector(kDefaultResourceCount));
+  std::vector<ResourceVector> tenant_demand_shares(
+      tenant_count, ResourceVector(kDefaultResourceCount));
+  std::vector<double> tenant_score_weighted(tenant_count, 0.0);
+  std::vector<double> tenant_score_weight(tenant_count, 0.0);
+  std::mutex aggregate_mu;
+
+  // rrf-lt: per-tenant contribution bank (EMA of per-window net giving).
+  std::vector<double> lt_balance;
+  std::vector<double> tenant_share_sum(tenant_count, 0.0);
+  if (config.policy == PolicyKind::kRrfLt) {
+    RRF_REQUIRE(config.ltrf_alpha > 0.0 && config.ltrf_alpha <= 1.0,
+                "ltrf_alpha must be in (0, 1]");
+    lt_balance.assign(tenant_count, 0.0);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      tenant_share_sum[t] = cl.tenant_shares(t).sum();
+    }
+  }
+
+  for (std::size_t w = 0; w < windows; ++w) {
+    const Seconds now = static_cast<double>(w) * config.window;
+
+    // ---- epoch-level live migration (load balancing) ----
+    if (config.rebalance.enabled && w > 0 &&
+        w % config.rebalance.every_windows == 0) {
+      std::vector<ResourceVector> capacities;
+      capacities.reserve(host_count);
+      for (std::size_t h = 0; h < host_count; ++h) {
+        capacities.push_back(cl.hosts()[h].capacity);
+      }
+      std::vector<cluster::VmLoad> loads;
+      std::vector<std::pair<std::size_t, std::size_t>> slot_ref;
+      for (std::size_t h = 0; h < host_count; ++h) {
+        for (std::size_t i = 0; i < nodes[h].slots.size(); ++i) {
+          const VmSlot& slot = nodes[h].slots[i];
+          cluster::VmLoad load;
+          load.tenant = slot.tenant;
+          load.vm = slot.vm;
+          load.host = h;
+          load.demand = slot.demand_ema;
+          load.reserved =
+              cl.tenants()[slot.tenant].vms[slot.vm].provisioned;
+          loads.push_back(std::move(load));
+          slot_ref.emplace_back(h, i);
+        }
+      }
+      const cluster::RebalancePlan plan = cluster::plan_rebalance(
+          capacities, loads, config.rebalance.options);
+      if (!plan.empty()) {
+        std::vector<std::size_t> destination(loads.size());
+        for (std::size_t r = 0; r < loads.size(); ++r) {
+          destination[r] = loads[r].host;
+        }
+        for (const cluster::Migration& m : plan.migrations) {
+          destination[m.vm_index] = m.to;
+        }
+        std::vector<std::vector<VmSlot>> new_slots(host_count);
+        for (std::size_t r = 0; r < loads.size(); ++r) {
+          const auto [h, i] = slot_ref[r];
+          VmSlot slot = std::move(nodes[h].slots[i]);
+          if (destination[r] != h) {
+            slot.migration_penalty = config.rebalance.penalty_windows;
+          }
+          new_slots[destination[r]].push_back(std::move(slot));
+        }
+        for (std::size_t h = 0; h < host_count; ++h) {
+          nodes[h].slots = std::move(new_slots[h]);
+          // Rebuilding resets the memory actuators to boot levels; the
+          // next apply_shares() retargets them within a window or two --
+          // the same settling a real live migration incurs.
+          rebuild_hv(nodes[h], h);
+        }
+        result.migrations += plan.migrations.size();
+        result.migrated_gb += plan.total_cost_gb;
+      }
+    }
+
+    // Sample per-VM demands once per tenant (shared by all nodes).
+    std::vector<std::vector<ResourceVector>> demands(tenant_count);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      demands[t] = scenario.workloads[t]->vm_demands_at(now);
+    }
+
+    for (auto& g : tenant_granted) g = ResourceVector(kDefaultResourceCount);
+    for (auto& d : tenant_demand_shares) {
+      d = ResourceVector(kDefaultResourceCount);
+    }
+    std::fill(tenant_score_weighted.begin(), tenant_score_weighted.end(),
+              0.0);
+    std::fill(tenant_score_weight.begin(), tenant_score_weight.end(), 0.0);
+
+    auto process_node = [&](std::size_t h) {
+      NodeState& node = nodes[h];
+      const std::size_t n = node.slots.size();
+      if (n == 0) return;
+
+      node.actual_demand.resize(n);
+      std::vector<ResourceVector> demand_shares(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const VmSlot& slot = node.slots[i];
+        node.actual_demand[i] = demands[slot.tenant][slot.vm];
+
+        ResourceVector forecast = node.actual_demand[i];
+        if (config.use_predictor) {
+          forecast = node.slots[i].predictor.observations() == 0
+                         ? cl.tenants()[slot.tenant].vms[slot.vm].provisioned
+                         : node.slots[i].predictor.predict();
+        }
+        demand_shares[i] = pricing.shares_for(forecast);
+      }
+
+      // The sharing policy arbitrates the pool the tenants collectively
+      // bought on this node; physical head-room beyond it is handled by
+      // the work-conserving surplus pass below.
+      ResourceVector pool(kDefaultResourceCount);
+      for (const VmSlot& slot : node.slots) pool += slot.initial_share;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      node.entitlement_shares = allocate_entitlements(
+          config.policy, pool, node.slots, demand_shares, lt_balance);
+      if (config.policy != PolicyKind::kTshirt) {
+        // Work-conserving surplus pass: physical capacity *nobody paid
+        // for* flows to VMs with residual demand in proportion to their
+        // shares.  Capacity the policy deliberately withheld inside the
+        // sold pool (e.g. RRF denying free riders) stays idle — the
+        // entitlement caps enforce the policy's decision, exactly like
+        // the paper's non-work-conserving credit caps.
+        const ResourceVector capacity_shares =
+            pricing.shares_for(cl.hosts()[h].capacity);
+        std::vector<double> residual(n), weights(n);
+        for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
+          for (std::size_t i = 0; i < n; ++i) {
+            residual[i] = std::max(
+                0.0, demand_shares[i][k] - node.entitlement_shares[i][k]);
+            weights[i] = node.slots[i].initial_share[k];
+          }
+          const double surplus = capacity_shares[k] - pool[k];
+          if (surplus <= 0.0) continue;
+          const std::vector<double> extra =
+              alloc::weighted_max_min(surplus, residual, weights);
+          for (std::size_t i = 0; i < n; ++i) {
+            node.entitlement_shares[i][k] += extra[i];
+          }
+        }
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      node.alloc_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+      ++node.alloc_invocations;
+
+      if (config.use_actuators) {
+        node.hv_node->apply_shares(node.entitlement_shares);
+        node.realized =
+            node.hv_node->step(config.window, node.actual_demand);
+      } else {
+        node.realized.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          node.realized[i] = ResourceVector::elementwise_min(
+              pricing.capacity_for(node.entitlement_shares[i]),
+              node.actual_demand[i]);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        node.slots[i].predictor.observe(node.actual_demand[i]);
+        // Demand EMA for the rebalancer.
+        VmSlot& slot = node.slots[i];
+        if (slot.predictor.observations() <= 1) {
+          slot.demand_ema = node.actual_demand[i];
+        } else {
+          slot.demand_ema =
+              slot.demand_ema * (1.0 - config.rebalance.demand_ema_alpha) +
+              node.actual_demand[i] * config.rebalance.demand_ema_alpha;
+        }
+      }
+
+      // Economic ledger for beta (paper Section VI-C): a tenant's share
+      // position S'_t is her initial share minus what other tenants
+      // actually consumed of her surplus, plus what she took beyond her
+      // share.  Surplus nobody took is not a loss, and over-takes funded
+      // by unsold platform head-room are not financed by any tenant.
+      std::vector<ResourceVector> beta_shares(
+          n, ResourceVector(kDefaultResourceCount));
+      {
+        const ResourceVector capacity_shares =
+            pricing.shares_for(cl.hosts()[h].capacity);
+        for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
+          double taken = 0.0, contributed = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double a = node.entitlement_shares[i][k];
+            const double s = node.slots[i].initial_share[k];
+            taken += std::max(0.0, a - s);
+            contributed += std::max(0.0, s - a);
+          }
+          const double headroom =
+              std::max(0.0, capacity_shares[k] - pool[k]);
+          const double tenant_funded = std::max(0.0, taken - headroom);
+          // Losses: a contributor only loses the fraction of her surplus
+          // other tenants actually consumed.  Gains: only the fraction
+          // financed by other tenants counts — over-takes covered by
+          // unsold platform head-room improve performance but move no
+          // asset between tenants.  The counted gains and losses balance.
+          const double theta =
+              contributed > 0.0
+                  ? std::min(1.0, tenant_funded / contributed)
+                  : 0.0;
+          const double phi = taken > 0.0 ? tenant_funded / taken : 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double a = node.entitlement_shares[i][k];
+            const double s = node.slots[i].initial_share[k];
+            beta_shares[i][k] = s - theta * std::max(0.0, s - a) +
+                                phi * std::max(0.0, a - s);
+          }
+        }
+      }
+
+      // Aggregate into tenant-level accumulators.
+      std::lock_guard lock(aggregate_mu);
+      for (std::size_t i = 0; i < n; ++i) {
+        const VmSlot& slot = node.slots[i];
+        tenant_granted[slot.tenant] += beta_shares[i];
+        const ResourceVector d_shares =
+            pricing.shares_for(node.actual_demand[i]);
+        tenant_demand_shares[slot.tenant] += d_shares;
+        double score = perf.step_score(
+            scenario.workloads[slot.tenant]->metric(),
+            node.actual_demand[i], node.realized[i]);
+        if (node.slots[i].migration_penalty > 0) {
+          score *= config.rebalance.slowdown;
+          --node.slots[i].migration_penalty;
+        }
+        const double weight = std::max(1e-9, d_shares.sum());
+        tenant_score_weighted[slot.tenant] += score * weight;
+        tenant_score_weight[slot.tenant] += weight;
+        used_total += node.realized[i] * config.window;
+      }
+    };
+
+    if (config.parallel_nodes && host_count > 1) {
+      global_pool().parallel_for(host_count, process_node);
+    } else {
+      for (std::size_t h = 0; h < host_count; ++h) process_node(h);
+    }
+
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      const double score =
+          tenant_score_weight[t] > 0.0
+              ? tenant_score_weighted[t] / tenant_score_weight[t]
+              : 1.0;
+      result.tenants[t].record_window(tenant_granted[t],
+                                      tenant_demand_shares[t], score);
+    }
+
+    if (config.policy == PolicyKind::kRrfLt) {
+      // Net giving this window = initial shares minus the ledger position
+      // (positive when other tenants consumed this tenant's surplus).
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        const double net = tenant_share_sum[t] - tenant_granted[t].sum();
+        lt_balance[t] += config.ltrf_alpha * (net - lt_balance[t]);
+      }
+    }
+
+    if (config.observer) {
+      WindowSnapshot snapshot;
+      snapshot.window = w;
+      snapshot.time = now;
+      snapshot.tenant_position.reserve(tenant_count);
+      snapshot.tenant_demand.reserve(tenant_count);
+      snapshot.tenant_score.reserve(tenant_count);
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        snapshot.tenant_position.push_back(tenant_granted[t].sum());
+        snapshot.tenant_demand.push_back(tenant_demand_shares[t].sum());
+        snapshot.tenant_score.push_back(
+            tenant_score_weight[t] > 0.0
+                ? tenant_score_weighted[t] / tenant_score_weight[t]
+                : 1.0);
+      }
+      config.observer(snapshot);
+    }
+  }
+
+  for (const auto& node : nodes) {
+    result.alloc_seconds_total += node.alloc_seconds;
+    result.alloc_invocations += node.alloc_invocations;
+  }
+  const double horizon =
+      static_cast<double>(windows) * config.window;
+  for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
+    result.mean_utilization[k] =
+        used_total[k] / (capacity_total[k] * horizon);
+  }
+  return result;
+}
+
+}  // namespace rrf::sim

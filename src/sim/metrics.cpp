@@ -1,0 +1,54 @@
+#include "sim/metrics.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrf::sim {
+
+TenantMetrics::TenantMetrics(std::string name, ResourceVector initial_shares)
+    : name_(std::move(name)), initial_shares_(std::move(initial_shares)) {
+  initial_total_ = initial_shares_.sum();
+  RRF_REQUIRE(initial_total_ > 0.0, "tenant with zero initial shares");
+}
+
+void TenantMetrics::record_window(const ResourceVector& granted_shares,
+                                  const ResourceVector& demanded_shares,
+                                  double perf_score) {
+  granted_total_ += granted_shares.sum();
+  perf_total_ += perf_score;
+  ++windows_;
+  demand_ratio_.push_back(demanded_shares.sum() / initial_total_);
+  alloc_ratio_.push_back(granted_shares.sum() / initial_total_);
+}
+
+double TenantMetrics::beta() const {
+  RRF_REQUIRE(windows_ > 0, "no windows recorded");
+  return granted_total_ / (static_cast<double>(windows_) * initial_total_);
+}
+
+double TenantMetrics::mean_perf() const {
+  RRF_REQUIRE(windows_ > 0, "no windows recorded");
+  return perf_total_ / static_cast<double>(windows_);
+}
+
+double SimResult::fairness_geomean() const {
+  std::vector<double> betas;
+  betas.reserve(tenants.size());
+  for (const auto& t : tenants) betas.push_back(t.beta());
+  return geometric_mean(betas);
+}
+
+double SimResult::perf_geomean() const {
+  std::vector<double> perfs;
+  perfs.reserve(tenants.size());
+  for (const auto& t : tenants) perfs.push_back(t.mean_perf());
+  return geometric_mean(perfs);
+}
+
+double SimResult::allocator_load() const {
+  if (alloc_invocations == 0 || window <= 0.0) return 0.0;
+  return (alloc_seconds_total / static_cast<double>(alloc_invocations)) /
+         window;
+}
+
+}  // namespace rrf::sim

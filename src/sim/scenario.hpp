@@ -1,0 +1,68 @@
+// Scenario builder: turns a list of workloads plus a provisioning
+// coefficient alpha into a concrete cluster with placed VMs.
+//
+// Mirrors the paper's setup (Section VI-A): each tenant runs one
+// application; every VM is provisioned at alpha times its share of the
+// application's *average* demand (alpha = alpha* provisions at peak);
+// VMs are placed by the grouping algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/placement.hpp"
+#include "workload/workload.hpp"
+
+namespace rrf::sim {
+
+struct ScenarioConfig {
+  /// One tenant per entry (tenants may repeat a workload kind).
+  std::vector<wl::WorkloadKind> workloads;
+  /// Provisioning coefficient alpha = S(i) / avg D(i).
+  double alpha = 1.0;
+  /// Number of physical hosts (paper_host capacity each).  0 = auto-size
+  /// the pool via cluster::suggest_host_count (the GSA's bulk
+  /// reservation, paper Section III-B).
+  std::size_t hosts = 1;
+  /// Target utilization for auto-sizing (hosts == 0).
+  double autosize_utilization = 0.9;
+  /// Share pricing (f1/f2).  The paper prices 1 core = 300 shares and
+  /// 1 GB = 200 shares after the EC2 CPU:RAM price ratio.
+  PricingModel pricing = PricingModel::paper_default();
+  std::uint64_t seed = 42;
+  cluster::PlacementPolicy placement =
+      cluster::PlacementPolicy::kReverseSkewness;
+  /// Profiling horizon used to size VMs and to drive placement.
+  Seconds profile_duration = 2700.0;
+};
+
+struct Scenario {
+  cluster::Cluster cluster;
+  /// Workload generator per tenant (index-aligned with cluster tenants).
+  std::vector<wl::WorkloadPtr> workloads;
+  /// host index per (tenant, vm).
+  std::vector<std::vector<std::size_t>> host_of;
+  /// VMs whose placement failed (tenant, vm) — empty when everything fits.
+  std::vector<std::pair<std::size_t, std::size_t>> unplaced;
+};
+
+/// Builds the scenario; throws DomainError if nothing can be placed at all.
+Scenario build_scenario(const ScenarioConfig& config);
+
+/// The paper's alpha*: the coefficient at which each VM is provisioned at
+/// its peak demand, computed per workload as max_k(peak_k / avg_k) and
+/// aggregated over the scenario's workloads (maximum).
+double peak_alpha(const ScenarioConfig& config);
+
+/// The paper's admission methodology: "continuously launch the tenants'
+/// applications one by one until no room to accommodate any more".
+/// Cycles through `cycle`, adding one tenant at a time while every VM of
+/// the new tenant still places; returns the largest fully-placed scenario
+/// (at most `max_tenants` tenants).
+Scenario fill_scenario(std::size_t hosts,
+                       const std::vector<wl::WorkloadKind>& cycle,
+                       double alpha, std::uint64_t seed,
+                       std::size_t max_tenants = 64);
+
+}  // namespace rrf::sim

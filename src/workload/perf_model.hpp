@@ -1,0 +1,58 @@
+// Application performance model: allocation satisfaction -> progress.
+//
+// The paper reports application performance normalized to a baseline; we
+// model each step's progress as a function of how well the realized
+// allocation covers the instantaneous demand:
+//
+//   s_k       = min(1, alloc_k / demand_k)           per resource type
+//   progress  = s_cpu * mem_penalty(s_ram)
+//
+// CPU shortfall degrades throughput linearly (fewer cycles, fewer
+// transactions).  Memory shortfall is *super-linear*: once the working set
+// no longer fits, paging dominates, so we use s_ram^gamma with gamma > 1.
+// Response-time workloads report the inverse latency, modelled via an
+// M/M/1-style blowup near saturation.
+#pragma once
+
+#include "common/resource_vector.hpp"
+#include "workload/workload.hpp"
+
+namespace rrf::wl {
+
+struct PerfModelConfig {
+  /// Exponent of the memory penalty (>1 = paging hurts super-linearly).
+  double mem_penalty_exponent = 2.0;
+  /// Floor so progress never reaches exactly zero (background progress).
+  double progress_floor = 0.02;
+  /// Latency model: rt = base / max(eps, 2*s - 1) style blowup guard.
+  double latency_saturation_guard = 0.05;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelConfig config = {}) : config_(config) {}
+
+  /// Per-type satisfaction min(1, alloc/demand); 1 where demand == 0.
+  static double satisfaction(double alloc, double demand);
+
+  /// Progress in [floor, 1] for one step of a throughput workload.
+  double step_progress(const ResourceVector& demand,
+                       const ResourceVector& alloc) const;
+
+  /// Normalized inverse response time in (0, 1] for a latency workload:
+  /// 1 when fully satisfied, degrading hyperbolically as CPU/memory
+  /// saturate (queueing blowup).
+  double step_inverse_latency(const ResourceVector& demand,
+                              const ResourceVector& alloc) const;
+
+  /// Dispatch on the workload's metric kind.
+  double step_score(PerfMetric metric, const ResourceVector& demand,
+                    const ResourceVector& alloc) const;
+
+  const PerfModelConfig& config() const { return config_; }
+
+ private:
+  PerfModelConfig config_;
+};
+
+}  // namespace rrf::wl

@@ -1,0 +1,53 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rrf::wl {
+
+WorkloadProfile profile_workload(const Workload& workload, Seconds duration,
+                                 Seconds dt) {
+  RRF_REQUIRE(duration > 0.0 && dt > 0.0, "positive duration and dt");
+  const auto steps = static_cast<std::size_t>(duration / dt);
+  RRF_REQUIRE(steps >= 2, "profile window too short");
+
+  const std::size_t p = workload.demand_at(0.0).size();
+  std::vector<std::vector<double>> series(p);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const ResourceVector d = workload.demand_at(static_cast<double>(s) * dt);
+    for (std::size_t k = 0; k < p; ++k) series[k].push_back(d[k]);
+  }
+
+  WorkloadProfile out;
+  out.average = ResourceVector(p);
+  out.peak = ResourceVector(p);
+  out.p95 = ResourceVector(p);
+  out.stddev = ResourceVector(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    out.average[k] = mean(series[k]);
+    out.peak[k] = *std::max_element(series[k].begin(), series[k].end());
+    out.p95[k] = quantile(series[k], 0.95);
+    out.stddev[k] = stddev(series[k]);
+  }
+  if (p >= 2) {
+    out.cpu_ram_correlation = pearson(series[0], series[1]);
+  }
+  return out;
+}
+
+std::vector<double> demand_series(const Workload& workload, Resource r,
+                                  Seconds duration, Seconds dt) {
+  RRF_REQUIRE(duration > 0.0 && dt > 0.0, "positive duration and dt");
+  const auto steps = static_cast<std::size_t>(duration / dt);
+  std::vector<double> out;
+  out.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    out.push_back(workload.demand_at(static_cast<double>(s) * dt)[r]);
+  }
+  return out;
+}
+
+}  // namespace rrf::wl

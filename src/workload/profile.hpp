@@ -1,0 +1,30 @@
+// Offline workload profiling (paper Section VI-A): measures a workload's
+// average and peak demands so tenants can size their initial shares via
+// the provisioning coefficient alpha = S(i) / avg(D(i)).
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace rrf::wl {
+
+struct WorkloadProfile {
+  ResourceVector average;
+  ResourceVector peak;          ///< per-type maximum over the window
+  ResourceVector p95;           ///< per-type 95th percentile
+  ResourceVector stddev;        ///< per-type standard deviation
+  /// Pearson correlation between the CPU and RAM demand series — the
+  /// paper's "skewness" signal for VM grouping (Section V).
+  double cpu_ram_correlation{0.0};
+};
+
+/// Samples `workload` every `dt` seconds over `duration` and aggregates.
+WorkloadProfile profile_workload(const Workload& workload, Seconds duration,
+                                 Seconds dt = 5.0);
+
+/// Demand series of one resource type on a fixed grid (for placement).
+std::vector<double> demand_series(const Workload& workload, Resource r,
+                                  Seconds duration, Seconds dt = 5.0);
+
+}  // namespace rrf::wl

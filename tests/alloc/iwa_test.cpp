@@ -1,0 +1,156 @@
+#include "alloc/iwa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::alloc {
+namespace {
+
+TEST(Iwa, SurplusFlowsInRatioOfUnsatisfiedDemands) {
+  // VM0 is over-provisioned by 300; VM1 and VM2 are short by 200 and 100.
+  // Unlike WMMF, the 300 is split 2:1 by *unsatisfied demand*, not weight.
+  const std::vector<double> shares{500.0, 500.0, 500.0};
+  const std::vector<double> demands{200.0, 700.0, 600.0};
+  const IwaResult r = iwa_distribute(1500.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 200.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1], 700.0);
+  EXPECT_DOUBLE_EQ(r.allocations[2], 600.0);
+  EXPECT_DOUBLE_EQ(r.headroom, 0.0);
+}
+
+TEST(Iwa, PartialFillRespectsDemandRatios) {
+  // Freed capacity (100) cannot cover the 300 total deficit: VMs receive
+  // 2:1 of the 100 in proportion to their deficits (200 vs 100).
+  const std::vector<double> shares{500.0, 500.0, 500.0};
+  const std::vector<double> demands{400.0, 700.0, 600.0};
+  const IwaResult r = iwa_distribute(1500.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 400.0);
+  EXPECT_NEAR(r.allocations[1], 500.0 + 200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(r.allocations[2], 500.0 + 100.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.headroom, 0.0);
+}
+
+TEST(Iwa, TenantLevelGainIsDistributed) {
+  // The tenant won 200 extra shares at the IRT level (total 1200 vs VM
+  // shares summing 1000); both VMs are short by 100 each.
+  const std::vector<double> shares{500.0, 500.0};
+  const std::vector<double> demands{600.0, 600.0};
+  const IwaResult r = iwa_distribute(1200.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 600.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1], 600.0);
+}
+
+TEST(Iwa, TenantLevelLossShrinksUnsatisfiedVms) {
+  // IRT capped the tenant below the sum of VM shares (contributor): the
+  // satisfied VM keeps its demand; the unsatisfied VM absorbs the loss.
+  const std::vector<double> shares{500.0, 500.0};
+  const std::vector<double> demands{200.0, 700.0};
+  const IwaResult r = iwa_distribute(900.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 200.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1], 700.0);
+  // 900 = 200 + 700 exactly: the tenant traded its surplus away.
+  EXPECT_DOUBLE_EQ(r.headroom, 0.0);
+}
+
+TEST(Iwa, ExcessBeyondAllDemandsBecomesHeadroom) {
+  const std::vector<double> shares{500.0, 500.0};
+  const std::vector<double> demands{100.0, 200.0};
+  const IwaResult r = iwa_distribute(1000.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1], 200.0);
+  EXPECT_DOUBLE_EQ(r.headroom, 700.0);
+}
+
+TEST(Iwa, OverSatisfactionIsCappedAtDemand) {
+  // Phi (700) exceeds Gamma (100): the raw paper formula would hand VM1
+  // 500 + 100/100 * 700 = 1200 > demand; we cap at demand 600.
+  const std::vector<double> shares{500.0, 500.0};
+  const std::vector<double> demands{200.0, 600.0};
+  const IwaResult r = iwa_distribute(1500.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[1], 600.0);
+  EXPECT_DOUBLE_EQ(r.headroom, 1500.0 - 200.0 - 600.0);
+}
+
+TEST(Iwa, GrantBelowCappedUseScalesDown) {
+  // Defensive path: tenant grant below even the satisfied VMs' demands.
+  const std::vector<double> shares{500.0, 500.0};
+  const std::vector<double> demands{400.0, 400.0};
+  const IwaResult r = iwa_distribute(400.0, shares, demands);
+  const double used = r.allocations[0] + r.allocations[1];
+  EXPECT_LE(used, 400.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(r.allocations[0], r.allocations[1]);
+}
+
+TEST(Iwa, SingleVmGetsMinOfGrantAndDemand) {
+  const std::vector<double> shares{500.0};
+  const std::vector<double> demands{800.0};
+  IwaResult r = iwa_distribute(700.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 700.0);
+  r = iwa_distribute(900.0, shares, demands);
+  EXPECT_DOUBLE_EQ(r.allocations[0], 800.0);
+  EXPECT_DOUBLE_EQ(r.headroom, 100.0);
+}
+
+TEST(Iwa, ConservationRandomized) {
+  Rng rng(51);
+  for (int t = 0; t < 300; ++t) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    std::vector<double> shares(n), demands(n);
+    double total_share = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      shares[j] = rng.uniform(10.0, 500.0);
+      demands[j] = shares[j] * rng.uniform(0.0, 2.5);
+      total_share += shares[j];
+    }
+    const double grant = total_share * rng.uniform(0.5, 1.5);
+    const IwaResult r = iwa_distribute(grant, shares, demands);
+    double used = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_GE(r.allocations[j], -1e-9);
+      EXPECT_LE(r.allocations[j], demands[j] + 1e-6);
+      used += r.allocations[j];
+    }
+    EXPECT_LE(used + r.headroom, grant + 1e-6);
+    // When the grant covers the total demand, every VM is satisfied.
+    const double total_demand =
+        std::accumulate(demands.begin(), demands.end(), 0.0);
+    if (grant >= total_demand) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(r.allocations[j], demands[j], 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Iwa, VectorVersionRunsPerType) {
+  std::vector<AllocationEntity> vms(2);
+  vms[0].initial_share = ResourceVector{500.0, 500.0};
+  vms[0].demand = ResourceVector{200.0, 700.0};
+  vms[1].initial_share = ResourceVector{500.0, 500.0};
+  vms[1].demand = ResourceVector{700.0, 200.0};
+  const IwaVectorResult r =
+      iwa_distribute(ResourceVector{1000.0, 1000.0}, vms);
+  EXPECT_TRUE(r.allocations[0].approx_equal({200.0, 700.0}, 1e-9));
+  EXPECT_TRUE(r.allocations[1].approx_equal({700.0, 200.0}, 1e-9));
+  EXPECT_TRUE(r.headroom.approx_equal({100.0, 100.0}, 1e-9));
+}
+
+TEST(Iwa, ValidatesInput) {
+  const std::vector<double> shares{1.0, 2.0};
+  const std::vector<double> demands{1.0};
+  EXPECT_THROW(iwa_distribute(1.0, shares, demands), PreconditionError);
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW(iwa_distribute(-1.0, shares, ok), PreconditionError);
+  EXPECT_THROW(
+      iwa_distribute(ResourceVector{1.0, 1.0},
+                     std::vector<AllocationEntity>{}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::alloc

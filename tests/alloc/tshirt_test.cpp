@@ -1,0 +1,71 @@
+#include "alloc/tshirt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rrf::alloc {
+namespace {
+
+AllocationEntity entity(ResourceVector share, ResourceVector demand) {
+  AllocationEntity e;
+  e.initial_share = std::move(share);
+  e.demand = std::move(demand);
+  return e;
+}
+
+TEST(TShirt, ReproducesPaperTableOne) {
+  // Example 1: static partition by shares 1:1:2 of <20 GHz, 10 GB>:
+  // VM1 <5, 2.5>, VM2 <5, 2.5>, VM3 <10, 5> — regardless of demand.
+  const ResourceVector capacity{20.0, 10.0};
+  const std::vector<AllocationEntity> vms{
+      entity({500.0, 500.0}, {6.0, 3.0}),
+      entity({500.0, 500.0}, {8.0, 1.0}),
+      entity({1000.0, 1000.0}, {8.0, 8.0}),
+  };
+  const AllocationResult r = TShirtAllocator{}.allocate(capacity, vms);
+  EXPECT_TRUE(r.allocations[0].approx_equal({5.0, 2.5}, 1e-9));
+  EXPECT_TRUE(r.allocations[1].approx_equal({5.0, 2.5}, 1e-9));
+  EXPECT_TRUE(r.allocations[2].approx_equal({10.0, 5.0}, 1e-9));
+}
+
+TEST(TShirt, IgnoresDemandEntirely) {
+  const ResourceVector capacity{10.0, 10.0};
+  std::vector<AllocationEntity> vms{
+      entity({1.0, 1.0}, {0.0, 0.0}),
+      entity({1.0, 1.0}, {100.0, 100.0}),
+  };
+  const AllocationResult r = TShirtAllocator{}.allocate(capacity, vms);
+  EXPECT_TRUE(r.allocations[0].approx_equal({5.0, 5.0}, 1e-9));
+  EXPECT_TRUE(r.allocations[1].approx_equal({5.0, 5.0}, 1e-9));
+}
+
+TEST(TShirt, UnownedTypeIdles) {
+  const ResourceVector capacity{10.0, 10.0};
+  const std::vector<AllocationEntity> vms{entity({1.0, 0.0}, {5.0, 5.0})};
+  const AllocationResult r = TShirtAllocator{}.allocate(capacity, vms);
+  EXPECT_DOUBLE_EQ(r.allocations[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(r.allocations[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(r.unallocated[1], 10.0);
+}
+
+TEST(TShirt, ConservesCapacity) {
+  const ResourceVector capacity{30.0, 15.0};
+  const std::vector<AllocationEntity> vms{
+      entity({3.0, 1.0}, {1.0, 1.0}),
+      entity({1.0, 3.0}, {1.0, 1.0}),
+  };
+  const AllocationResult r = TShirtAllocator{}.allocate(capacity, vms);
+  EXPECT_TRUE((r.total() + r.unallocated).approx_equal(capacity, 1e-9));
+}
+
+TEST(TShirt, ValidatesInput) {
+  EXPECT_THROW(TShirtAllocator{}.allocate(ResourceVector{1.0, 1.0},
+                                          std::vector<AllocationEntity>{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::alloc

@@ -1,0 +1,184 @@
+#include "alloc/wmmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::alloc {
+namespace {
+
+TEST(WeightedMaxMin, AbundantCapacityCapsAtDemand) {
+  const std::vector<double> d{3.0, 5.0};
+  const std::vector<double> w{1.0, 1.0};
+  const auto a = weighted_max_min(100.0, d, w);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(WeightedMaxMin, EqualWeightsEqualSplit) {
+  const std::vector<double> d{10.0, 10.0};
+  const std::vector<double> w{1.0, 1.0};
+  const auto a = weighted_max_min(10.0, d, w);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(WeightedMaxMin, SmallDemandSatisfiedFirst) {
+  // Principle 1: smaller normalized demand is satisfied first, surplus
+  // flows to the others.
+  const std::vector<double> d{1.0, 10.0, 10.0};
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  const auto a = weighted_max_min(9.0, d, w);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+}
+
+TEST(WeightedMaxMin, WeightsSkewTheSplit) {
+  const std::vector<double> d{10.0, 10.0};
+  const std::vector<double> w{1.0, 3.0};
+  const auto a = weighted_max_min(8.0, d, w);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 6.0);
+}
+
+TEST(WeightedMaxMin, ZeroWeightUserStarvesUnderContention) {
+  const std::vector<double> d{5.0, 5.0};
+  const std::vector<double> w{0.0, 1.0};
+  const auto a = weighted_max_min(5.0, d, w);
+  EXPECT_DOUBLE_EQ(a[0], 0.0);
+  EXPECT_DOUBLE_EQ(a[1], 5.0);
+}
+
+TEST(WeightedMaxMin, ExactlyExhaustsContendedCapacity) {
+  Rng rng(11);
+  for (int t = 0; t < 200; ++t) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    std::vector<double> d(n), w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = rng.uniform(0.0, 10.0);
+      w[i] = rng.uniform(0.1, 5.0);
+    }
+    const double total = std::accumulate(d.begin(), d.end(), 0.0);
+    const double capacity = rng.uniform(0.0, total);  // contended
+    const auto a = weighted_max_min(capacity, d, w);
+    const double used = std::accumulate(a.begin(), a.end(), 0.0);
+    EXPECT_NEAR(used, capacity, 1e-9 * std::max(1.0, capacity));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(a[i], d[i] + 1e-9);
+      EXPECT_GE(a[i], -1e-12);
+    }
+  }
+}
+
+TEST(WeightedMaxMin, WaterLevelIsMaxMin) {
+  // Under contention, any user below her demand sits at the common level
+  // alloc/weight; satisfied users are below or at the level.
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    std::vector<double> d(n), w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = rng.uniform(1.0, 10.0);
+      w[i] = rng.uniform(0.5, 4.0);
+    }
+    const double total = std::accumulate(d.begin(), d.end(), 0.0);
+    const auto a = weighted_max_min(total * 0.6, d, w);
+    double level = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] < d[i] - 1e-9) {
+        const double li = a[i] / w[i];
+        if (level < 0) level = li;
+        EXPECT_NEAR(a[i] / w[i], level, 1e-6);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level > 0 && a[i] >= d[i] - 1e-9) {
+        EXPECT_LE(d[i] / w[i], level + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(WeightedMaxMin, MismatchedInputsThrow) {
+  const std::vector<double> d{1.0};
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(weighted_max_min(1.0, d, w), PreconditionError);
+  const std::vector<double> w1{1.0};
+  EXPECT_THROW(weighted_max_min(-1.0, d, w1), PreconditionError);
+}
+
+// --- multi-resource allocator ---
+
+AllocationEntity entity(ResourceVector share, ResourceVector demand,
+                        std::string name = "") {
+  AllocationEntity e;
+  e.initial_share = std::move(share);
+  e.demand = std::move(demand);
+  e.name = std::move(name);
+  return e;
+}
+
+TEST(WmmfAllocator, ReproducesPaperTableOne) {
+  // Example 1: pool <20 GHz, 10 GB>, shares 1:1:2,
+  // demands VM1 <6,3>, VM2 <8,1>, VM3 <8,8>.
+  // Paper's WMMF row: VM1 <6,3>, VM2 <6,1>, VM3 <8,6>.
+  const ResourceVector capacity{20.0, 10.0};
+  const std::vector<AllocationEntity> vms{
+      entity({5.0, 2.5}, {6.0, 3.0}, "VM1"),
+      entity({5.0, 2.5}, {8.0, 1.0}, "VM2"),
+      entity({10.0, 5.0}, {8.0, 8.0}, "VM3"),
+  };
+  const WmmfAllocator wmmf;
+  const AllocationResult r = wmmf.allocate(capacity, vms);
+  EXPECT_TRUE(r.allocations[0].approx_equal(ResourceVector{6.0, 3.0}, 1e-9));
+  EXPECT_TRUE(r.allocations[1].approx_equal(ResourceVector{6.0, 1.0}, 1e-9));
+  EXPECT_TRUE(r.allocations[2].approx_equal(ResourceVector{8.0, 6.0}, 1e-9));
+  EXPECT_TRUE(r.total().approx_equal(capacity, 1e-9));
+}
+
+TEST(WmmfAllocator, PerTypeIndependence) {
+  // CPU contended, RAM abundant: RAM demands met exactly, CPU water-filled.
+  const ResourceVector capacity{10.0, 100.0};
+  const std::vector<AllocationEntity> vms{
+      entity({5.0, 5.0}, {8.0, 2.0}),
+      entity({5.0, 5.0}, {8.0, 3.0}),
+  };
+  const AllocationResult r = WmmfAllocator{}.allocate(capacity, vms);
+  EXPECT_DOUBLE_EQ(r.allocations[0][0], 5.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1][0], 5.0);
+  EXPECT_DOUBLE_EQ(r.allocations[0][1], 2.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1][1], 3.0);
+  EXPECT_DOUBLE_EQ(r.unallocated[1], 95.0);
+}
+
+TEST(WmmfAllocator, FallsBackToScalarWeightWhenTypeUnowned) {
+  // Nobody owns RAM shares; the RAM capacity is still shared by scalar
+  // weight instead of idling.
+  const ResourceVector capacity{10.0, 10.0};
+  std::vector<AllocationEntity> vms{
+      entity({6.0, 0.0}, {10.0, 10.0}),
+      entity({4.0, 0.0}, {10.0, 10.0}),
+  };
+  vms[0].weight = 6.0;
+  vms[1].weight = 4.0;
+  const AllocationResult r = WmmfAllocator{}.allocate(capacity, vms);
+  EXPECT_DOUBLE_EQ(r.allocations[0][1], 6.0);
+  EXPECT_DOUBLE_EQ(r.allocations[1][1], 4.0);
+}
+
+TEST(WmmfAllocator, ValidatesInput) {
+  const ResourceVector capacity{10.0, 10.0};
+  EXPECT_THROW(
+      WmmfAllocator{}.allocate(capacity, std::vector<AllocationEntity>{}),
+      PreconditionError);
+  std::vector<AllocationEntity> bad{entity({1.0, 1.0}, {-1.0, 0.0})};
+  EXPECT_THROW(WmmfAllocator{}.allocate(capacity, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::alloc

@@ -1,0 +1,139 @@
+#include "cluster/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::cluster {
+namespace {
+
+PlacementRequest request(ResourceVector reserved, std::vector<double> cpu,
+                         std::vector<double> ram, std::size_t group = 0) {
+  PlacementRequest r;
+  r.reserved = std::move(reserved);
+  r.cpu_profile = std::move(cpu);
+  r.ram_profile = std::move(ram);
+  r.group = group;
+  return r;
+}
+
+std::vector<double> sine(double amplitude, double phase, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] =
+        amplitude * (1.0 + std::sin(0.3 * static_cast<double>(i) + phase));
+  }
+  return out;
+}
+
+TEST(Placement, FirstFitFillsInOrder) {
+  const std::vector<ResourceVector> hosts{
+      ResourceVector{10.0, 10.0}, ResourceVector{10.0, 10.0}};
+  std::vector<PlacementRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(request(ResourceVector{6.0, 6.0}, {1.0}, {1.0}));
+  }
+  const auto result = place_vms(hosts, requests, PlacementPolicy::kFirstFit);
+  ASSERT_TRUE(result.host_of[0] && result.host_of[1]);
+  EXPECT_EQ(*result.host_of[0], 0u);
+  EXPECT_EQ(*result.host_of[1], 1u);
+  EXPECT_FALSE(result.host_of[2].has_value());  // nothing fits
+  EXPECT_EQ(result.placed, 2u);
+  EXPECT_EQ(result.failed, 1u);
+}
+
+TEST(Placement, CapacityIsRespected) {
+  Rng rng(91);
+  const std::vector<ResourceVector> hosts{
+      ResourceVector{20.0, 20.0}, ResourceVector{20.0, 20.0},
+      ResourceVector{20.0, 20.0}};
+  for (const auto policy :
+       {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFitDominant,
+        PlacementPolicy::kReverseSkewness}) {
+    std::vector<PlacementRequest> requests;
+    for (int i = 0; i < 20; ++i) {
+      requests.push_back(request(
+          ResourceVector{rng.uniform(1.0, 8.0), rng.uniform(1.0, 8.0)},
+          sine(1.0, rng.uniform(0.0, 6.0), 32),
+          sine(1.0, rng.uniform(0.0, 6.0), 32)));
+    }
+    const auto result = place_vms(hosts, requests, policy);
+    std::vector<ResourceVector> used(hosts.size(), ResourceVector{0.0, 0.0});
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      if (result.host_of[r]) {
+        used[*result.host_of[r]] += requests[r].reserved;
+      }
+    }
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      EXPECT_TRUE(used[h].all_le(hosts[h], 1e-9)) << to_string(policy);
+    }
+  }
+}
+
+TEST(Placement, ReverseSkewnessPairsAntiCorrelatedProfiles) {
+  // Two "peaky" day workloads and two "peaky" night workloads; the
+  // skewness policy should pair day with night on each host.
+  const std::size_t n = 64;
+  const auto day = sine(2.0, 0.0, n);
+  const auto night = sine(2.0, 3.14159, n);
+  const std::vector<ResourceVector> hosts{
+      ResourceVector{10.0, 10.0}, ResourceVector{10.0, 10.0}};
+  std::vector<PlacementRequest> requests;
+  requests.push_back(request(ResourceVector{4.0, 4.0}, day, day, 0));
+  requests.push_back(request(ResourceVector{4.0, 4.0}, day, day, 1));
+  requests.push_back(request(ResourceVector{4.0, 4.0}, night, night, 2));
+  requests.push_back(request(ResourceVector{4.0, 4.0}, night, night, 3));
+  const auto result =
+      place_vms(hosts, requests, PlacementPolicy::kReverseSkewness);
+  ASSERT_TRUE(result.all_placed());
+  // The two day VMs must not share a host.
+  EXPECT_NE(*result.host_of[0], *result.host_of[1]);
+  EXPECT_NE(*result.host_of[2], *result.host_of[3]);
+}
+
+TEST(Placement, SameGroupSpreadsAcrossHosts) {
+  const std::vector<ResourceVector> hosts{
+      ResourceVector{10.0, 10.0}, ResourceVector{10.0, 10.0}};
+  const auto flat = sine(1.0, 0.0, 16);
+  std::vector<PlacementRequest> requests;
+  requests.push_back(request(ResourceVector{2.0, 2.0}, flat, flat, 7));
+  requests.push_back(request(ResourceVector{2.0, 2.0}, flat, flat, 7));
+  const auto result =
+      place_vms(hosts, requests, PlacementPolicy::kReverseSkewness);
+  ASSERT_TRUE(result.all_placed());
+  EXPECT_NE(*result.host_of[0], *result.host_of[1]);
+}
+
+TEST(Placement, BestFitDominantPrefersTightHost) {
+  // Host 1 has little CPU left after the first placement; a CPU-dominant
+  // VM should best-fit into the tighter host.
+  const std::vector<ResourceVector> hosts{
+      ResourceVector{10.0, 10.0}, ResourceVector{4.0, 10.0}};
+  std::vector<PlacementRequest> requests;
+  requests.push_back(request(ResourceVector{3.0, 1.0}, {1.0}, {1.0}));
+  const auto result =
+      place_vms(hosts, requests, PlacementPolicy::kBestFitDominant);
+  ASSERT_TRUE(result.all_placed());
+  EXPECT_EQ(*result.host_of[0], 1u);
+}
+
+TEST(Placement, ProfileCorrelationSignsMakeSense) {
+  const auto a = sine(1.0, 0.0, 64);
+  const auto b = sine(1.0, 3.14159, 64);
+  EXPECT_GT(profile_correlation(a, a, a, a), 0.9);
+  EXPECT_LT(profile_correlation(a, a, b, b), -0.9);
+  // Empty host: neutral.
+  EXPECT_DOUBLE_EQ(profile_correlation(a, a, {}, {}), 0.0);
+}
+
+TEST(Placement, ValidatesInput) {
+  EXPECT_THROW(place_vms({}, {}, PlacementPolicy::kFirstFit),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::cluster

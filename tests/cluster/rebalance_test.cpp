@@ -1,0 +1,164 @@
+#include "cluster/rebalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::cluster {
+namespace {
+
+VmLoad vm(std::size_t host, ResourceVector demand,
+          ResourceVector reserved = ResourceVector{0.0, 0.0}) {
+  VmLoad load;
+  load.host = host;
+  load.demand = std::move(demand);
+  load.reserved =
+      reserved.sum() > 0.0 ? std::move(reserved) : load.demand;
+  return load;
+}
+
+const std::vector<ResourceVector> kTwoHosts{ResourceVector{10.0, 10.0},
+                                            ResourceVector{10.0, 10.0}};
+
+TEST(Rebalance, BalancedClusterIsLeftAlone) {
+  const std::vector<VmLoad> vms{
+      vm(0, {4.0, 4.0}),
+      vm(1, {4.0, 4.0}),
+  };
+  const RebalancePlan plan = plan_rebalance(kTwoHosts, vms);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.total_cost_gb, 0.0);
+}
+
+TEST(Rebalance, MovesLoadFromHotToCold) {
+  const std::vector<VmLoad> vms{
+      vm(0, {4.0, 2.0}),
+      vm(0, {4.0, 2.0}),
+      vm(1, {1.0, 1.0}),
+  };
+  const RebalancePlan plan = plan_rebalance(kTwoHosts, vms);
+  ASSERT_EQ(plan.migrations.size(), 1u);
+  EXPECT_EQ(plan.migrations[0].from, 0u);
+  EXPECT_EQ(plan.migrations[0].to, 1u);
+  // The gap shrinks.
+  const double before = *std::max_element(plan.pressure_before.begin(),
+                                          plan.pressure_before.end()) -
+                        *std::min_element(plan.pressure_before.begin(),
+                                          plan.pressure_before.end());
+  const double after = *std::max_element(plan.pressure_after.begin(),
+                                         plan.pressure_after.end()) -
+                       *std::min_element(plan.pressure_after.begin(),
+                                         plan.pressure_after.end());
+  EXPECT_LT(after, before);
+}
+
+TEST(Rebalance, PrefersCheapestHelpfulVm) {
+  // Two equally helpful candidates; the smaller-memory one must move.
+  const std::vector<VmLoad> vms{
+      vm(0, {4.0, 1.0}),   // cheap to migrate
+      vm(0, {4.0, 5.0}),   // expensive
+      vm(1, {0.5, 0.5}),
+  };
+  const RebalancePlan plan = plan_rebalance(kTwoHosts, vms);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.migrations[0].vm_index, 0u);
+  EXPECT_DOUBLE_EQ(plan.migrations[0].cost_gb, 1.0);
+}
+
+TEST(Rebalance, RespectsReservationCapacityOnTarget) {
+  // The cold host has no reservation head-room: nothing can move there.
+  std::vector<VmLoad> vms{
+      vm(0, {8.0, 8.0}),
+      vm(1, {1.0, 1.0}, /*reserved=*/{10.0, 10.0}),
+  };
+  const RebalancePlan plan = plan_rebalance(kTwoHosts, vms);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(Rebalance, HonoursMigrationBudget) {
+  std::vector<VmLoad> vms;
+  for (int i = 0; i < 10; ++i) vms.push_back(vm(0, {1.5, 1.0}));
+  RebalanceOptions options;
+  options.max_migrations = 2;
+  options.pressure_gap_threshold = 0.01;
+  const RebalancePlan plan = plan_rebalance(kTwoHosts, vms, options);
+  EXPECT_LE(plan.migrations.size(), 2u);
+}
+
+TEST(Rebalance, NeverOvercommitsRandomized) {
+  Rng rng(171);
+  for (int t = 0; t < 100; ++t) {
+    const std::size_t host_count =
+        static_cast<std::size_t>(rng.uniform_int(2, 5));
+    std::vector<ResourceVector> capacity(host_count,
+                                         ResourceVector{20.0, 20.0});
+    std::vector<VmLoad> vms;
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 20));
+    for (std::size_t i = 0; i < n; ++i) {
+      vms.push_back(
+          vm(static_cast<std::size_t>(
+                 rng.uniform_int(0, static_cast<std::int64_t>(host_count) - 1)),
+             {rng.uniform(0.5, 5.0), rng.uniform(0.5, 5.0)}));
+    }
+    const RebalancePlan plan = plan_rebalance(capacity, vms);
+    // Replay the plan and check reservations per host.
+    std::vector<ResourceVector> reserved(host_count,
+                                         ResourceVector{0.0, 0.0});
+    std::vector<std::size_t> where(vms.size());
+    for (std::size_t i = 0; i < vms.size(); ++i) where[i] = vms[i].host;
+    for (const Migration& m : plan.migrations) {
+      EXPECT_EQ(where[m.vm_index], m.from);
+      where[m.vm_index] = m.to;
+    }
+    bool initially_fit = true;
+    std::vector<ResourceVector> initial(host_count,
+                                        ResourceVector{0.0, 0.0});
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      initial[vms[i].host] += vms[i].reserved;
+      reserved[where[i]] += vms[i].reserved;
+    }
+    for (std::size_t h = 0; h < host_count; ++h) {
+      if (!initial[h].all_le(capacity[h], 1e-9)) initially_fit = false;
+    }
+    if (initially_fit) {
+      for (std::size_t h = 0; h < host_count; ++h) {
+        EXPECT_TRUE(reserved[h].all_le(capacity[h], 1e-9))
+            << "trial " << t << " host " << h;
+      }
+    }
+    // Pressure spread never increases.
+    const double before = *std::max_element(plan.pressure_before.begin(),
+                                            plan.pressure_before.end());
+    const double after = *std::max_element(plan.pressure_after.begin(),
+                                           plan.pressure_after.end());
+    EXPECT_LE(after, before + 1e-9);
+  }
+}
+
+TEST(Rebalance, PoolScaling) {
+  // 60 GHz + 30 GB of demand on <20, 10> hosts at 100% utilization: 3.
+  EXPECT_EQ(suggest_host_count(ResourceVector{60.0, 30.0},
+                               ResourceVector{20.0, 10.0}, 1.0),
+            3u);
+  // At 85% target it takes 4.
+  EXPECT_EQ(suggest_host_count(ResourceVector{60.0, 30.0},
+                               ResourceVector{20.0, 10.0}, 0.85),
+            4u);
+  // Memory-dominant demand drives the count.
+  EXPECT_EQ(suggest_host_count(ResourceVector{10.0, 95.0},
+                               ResourceVector{20.0, 10.0}, 1.0),
+            10u);
+  EXPECT_THROW(suggest_host_count(ResourceVector{1.0, 1.0},
+                                  ResourceVector{1.0, 1.0}, 0.0),
+               PreconditionError);
+}
+
+TEST(Rebalance, ValidatesInput) {
+  EXPECT_THROW(plan_rebalance({}, {}), PreconditionError);
+  const std::vector<VmLoad> bad{vm(7, {1.0, 1.0})};
+  EXPECT_THROW(plan_rebalance(kTwoHosts, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::cluster

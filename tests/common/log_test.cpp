@@ -1,0 +1,27 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrf {
+namespace {
+
+TEST(Log, LevelThresholdFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash and must be cheap no-ops below the threshold.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2.5);
+  log_warn("dropped ", "x");
+  set_log_level(LogLevel::kOff);
+  log_error("also dropped");
+  set_log_level(before);
+}
+
+TEST(Log, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+}  // namespace
+}  // namespace rrf

@@ -1,0 +1,51 @@
+#include "common/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rrf {
+namespace {
+
+TEST(Pricing, ExampleDefaultMatchesPaperFigure1) {
+  // Figure 1: one compute unit = 100 shares, one GB = 200 shares.
+  // VM1 with 3 compute units + 2 GB = 700 shares.
+  const PricingModel model = PricingModel::example_default();
+  const ResourceVector vm1{3.0, 2.0};
+  EXPECT_DOUBLE_EQ(model.value_of(vm1), 700.0);
+}
+
+TEST(Pricing, SharesForAndCapacityForAreInverse) {
+  const PricingModel model = PricingModel::example_default();
+  const ResourceVector capacity{6.0, 3.0};
+  const ResourceVector shares = model.shares_for(capacity);
+  EXPECT_EQ(shares, (ResourceVector{600.0, 600.0}));
+  EXPECT_TRUE(model.capacity_for(shares).approx_equal(capacity));
+}
+
+TEST(Pricing, PaperDefaultRatioMatchesEc2) {
+  // 1 core (3.07 GHz) = 300 shares, 1 GB = 200 shares: the paper's setting.
+  const PricingModel model = PricingModel::paper_default();
+  EXPECT_NEAR(model.value_of(ResourceVector{3.07, 0.0}), 300.0, 1e-9);
+  EXPECT_NEAR(model.value_of(ResourceVector{0.0, 1.0}), 200.0, 1e-9);
+}
+
+TEST(Pricing, PaymentScalesWithCurrency) {
+  const PricingModel model = PricingModel::example_default();
+  const ResourceVector c{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.payment_for(c, 0.01), 3.0);
+}
+
+TEST(Pricing, RejectsNonPositivePrices) {
+  EXPECT_THROW(PricingModel(ResourceVector{0.0, 1.0}), PreconditionError);
+  EXPECT_THROW(PricingModel(ResourceVector{-1.0, 1.0}), PreconditionError);
+}
+
+TEST(Pricing, ArityMismatchThrows) {
+  const PricingModel model = PricingModel::example_default();
+  EXPECT_THROW(model.capacity_for(ResourceVector{1.0, 2.0, 3.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf

@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+  EXPECT_THROW(geometric_mean(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(geometric_mean(std::vector<double>{1.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(Stats, StdDev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138089935, 1e-6);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(zeros), 0.0);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW(quantile({}, 0.5), PreconditionError);
+  EXPECT_THROW(quantile(xs, 1.5), PreconditionError);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonLengthMismatchThrows) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(pearson(xs, ys), PreconditionError);
+}
+
+TEST(Stats, JainIndex) {
+  const std::vector<double> equal{5.0, 5.0, 5.0};
+  EXPECT_NEAR(jain_index(equal), 1.0, 1e-12);
+  const std::vector<double> skewed{1.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(skewed), 0.25, 1e-12);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(7);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), 1000u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(Stats, RngForkIndependence) {
+  Rng a(42);
+  Rng b = a.fork(1);
+  Rng c = a.fork(2);
+  // Distinct streams must not be identical.
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (b.uniform(0, 1) != c.uniform(0, 1)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  // Forking is deterministic given (seed, tag).
+  Rng b2 = Rng(42).fork(1);
+  EXPECT_DOUBLE_EQ(Rng(42).fork(1).uniform(0, 1), b2.uniform(0, 1));
+}
+
+TEST(Stats, RngNormalInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.normal_in(0.0, 5.0, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rrf

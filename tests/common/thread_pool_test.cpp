@@ -1,0 +1,73 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rrf {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleIteration) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::size_t n = 100'000;
+  std::vector<double> xs(n);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(xs[i]));
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n + 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsAlive) {
+  EXPECT_GE(global_pool().thread_count(), 1u);
+  std::atomic<int> c{0};
+  global_pool().parallel_for(10, [&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 10);
+}
+
+}  // namespace
+}  // namespace rrf

@@ -1,0 +1,78 @@
+#include "core/rrf_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace rrf {
+namespace {
+
+sim::ScenarioConfig small_config() {
+  sim::ScenarioConfig config;
+  config.workloads = {wl::WorkloadKind::kTpcc,
+                      wl::WorkloadKind::kKernelBuild};
+  config.hosts = 1;
+  config.seed = 42;
+  return config;
+}
+
+sim::EngineConfig fast_engine() {
+  sim::EngineConfig config;
+  config.duration = 300.0;
+  return config;
+}
+
+TEST(RrfSystem, BuildsAndRuns) {
+  RrfSystem system(small_config(), fast_engine());
+  EXPECT_EQ(system.placed_vm_count(), 3u);  // 2 TPC-C VMs + 1 kernel VM
+  const sim::SimResult result = system.run(sim::PolicyKind::kRrf);
+  EXPECT_EQ(result.tenants.size(), 2u);
+  EXPECT_EQ(result.policy, "rrf");
+}
+
+TEST(RrfSystem, CompareRunsIdenticalScenario) {
+  RrfSystem system(small_config(), fast_engine());
+  const auto results = system.compare(
+      {sim::PolicyKind::kTshirt, sim::PolicyKind::kRrf});
+  ASSERT_EQ(results.size(), 2u);
+  // Same traces: demand ratio series identical across policies.
+  for (std::size_t t = 0; t < results[0].tenants.size(); ++t) {
+    EXPECT_EQ(results[0].tenants[t].demand_ratio_series(),
+              results[1].tenants[t].demand_ratio_series());
+  }
+}
+
+TEST(Experiments, ComparePoliciesShapes) {
+  const PolicyComparison c = compare_policies(
+      small_config(), fast_engine(),
+      {sim::PolicyKind::kTshirt, sim::PolicyKind::kWmmf,
+       sim::PolicyKind::kRrf});
+  ASSERT_EQ(c.policies.size(), 3u);
+  ASSERT_EQ(c.beta.size(), 3u);
+  ASSERT_EQ(c.beta[0].size(), 2u);
+  ASSERT_EQ(c.tenant_names.size(), 2u);
+  EXPECT_NEAR(c.beta_geomean[0], 1.0, 1e-9);  // T-shirt
+  for (double v : c.perf_geomean) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(Experiments, AlphaSweepDensityMonotone) {
+  sim::EngineConfig engine = fast_engine();
+  engine.duration = 150.0;
+  const AlphaSweep sweep = alpha_sweep(
+      /*hosts=*/1, {wl::WorkloadKind::kTpcc, wl::WorkloadKind::kKernelBuild},
+      /*alphas=*/{2.0, 1.0}, engine, {sim::PolicyKind::kRrf});
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_GT(sweep.alpha_star, 1.0);
+  // Smaller alpha packs more VMs: density at alpha=1 > density at 2.
+  EXPECT_GT(sweep.points[1].vm_density, sweep.points[0].vm_density);
+  EXPECT_GT(sweep.points[1].cost_reduction,
+            sweep.points[0].cost_reduction);
+  // Density is measured against the alpha* packing: >= 1 at alpha <= a*.
+  EXPECT_GE(sweep.points[0].vm_density, 1.0);
+}
+
+}  // namespace
+}  // namespace rrf

@@ -1,0 +1,97 @@
+#include "hypervisor/balloon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+namespace {
+
+TEST(Balloon, MovesTowardTargetAtLimitedRate) {
+  BalloonDriver balloon(/*rate_gb_per_s=*/0.5);
+  const std::size_t vm = balloon.add_vm(/*initial_gb=*/4.0, /*max_gb=*/8.0);
+  balloon.set_target(vm, 6.0);
+  balloon.step(1.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 4.5);
+  balloon.step(2.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 5.5);
+  balloon.step(10.0);  // overshoot clamped at the target
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 6.0);
+}
+
+TEST(Balloon, InflateShrinksTheVm) {
+  BalloonDriver balloon(1.0);
+  const std::size_t vm = balloon.add_vm(4.0, 8.0);
+  balloon.set_target(vm, 2.0);
+  balloon.step(1.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 3.0);
+  balloon.step(5.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 2.0);
+}
+
+TEST(Balloon, TargetClampedToMaxMemoryCeiling) {
+  // The paper's motivation for hotplug: ballooning cannot exceed the
+  // boot-time max_memory.
+  BalloonDriver balloon(10.0);
+  const std::size_t vm = balloon.add_vm(4.0, 8.0);
+  balloon.set_target(vm, 16.0);
+  EXPECT_DOUBLE_EQ(balloon.target(vm), 8.0);
+  balloon.step(10.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(vm), 8.0);
+  EXPECT_DOUBLE_EQ(balloon.max_memory(vm), 8.0);
+}
+
+TEST(Balloon, TargetClampedToFloor) {
+  BalloonDriver balloon(10.0, /*min_gb=*/0.5);
+  const std::size_t vm = balloon.add_vm(4.0, 8.0);
+  balloon.set_target(vm, 0.0);
+  EXPECT_DOUBLE_EQ(balloon.target(vm), 0.5);
+}
+
+TEST(Balloon, MultipleVmsIndependent) {
+  BalloonDriver balloon(1.0);
+  const std::size_t a = balloon.add_vm(2.0, 8.0);
+  const std::size_t b = balloon.add_vm(6.0, 8.0);
+  balloon.set_target(a, 4.0);
+  balloon.set_target(b, 4.0);
+  balloon.step(1.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(a), 3.0);
+  EXPECT_DOUBLE_EQ(balloon.allocated(b), 5.0);
+}
+
+TEST(Balloon, ValidatesInput) {
+  EXPECT_THROW(BalloonDriver(0.0), PreconditionError);
+  BalloonDriver balloon(1.0);
+  EXPECT_THROW(balloon.add_vm(4.0, 2.0), PreconditionError);
+  EXPECT_THROW(balloon.set_target(3, 1.0), PreconditionError);
+  balloon.add_vm(1.0, 2.0);
+  EXPECT_THROW(balloon.step(-1.0), PreconditionError);
+}
+
+TEST(Hotplug, NoCeilingAndBlockGranularity) {
+  MemoryHotplug hotplug(/*rate_gb_per_s=*/2.0, /*block_gb=*/0.125);
+  const std::size_t vm = hotplug.add_vm(4.0, /*max ignored*/ 4.0);
+  hotplug.set_target(vm, 16.3);  // rounded to a block boundary
+  EXPECT_NEAR(hotplug.target(vm), 16.25, 1e-12);
+  for (int i = 0; i < 10; ++i) hotplug.step(1.0);
+  EXPECT_NEAR(hotplug.allocated(vm), 16.25, 1e-12);
+}
+
+TEST(Hotplug, MovesAtLeastOneBlockWhenPending) {
+  MemoryHotplug hotplug(2.0, 0.125);
+  const std::size_t vm = hotplug.add_vm(4.0, 4.0);
+  hotplug.set_target(vm, 4.125);
+  hotplug.step(0.001);  // tiny dt still moves one block
+  EXPECT_NEAR(hotplug.allocated(vm), 4.125, 1e-12);
+}
+
+TEST(Hotplug, RateBoundsLargeMoves) {
+  MemoryHotplug hotplug(/*rate=*/1.0, /*block=*/0.5);
+  const std::size_t vm = hotplug.add_vm(4.0, 4.0);
+  hotplug.set_target(vm, 10.0);
+  hotplug.step(1.0);  // 1 GB/s => 2 blocks
+  EXPECT_NEAR(hotplug.allocated(vm), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rrf::hv

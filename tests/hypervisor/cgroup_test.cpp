@@ -1,0 +1,75 @@
+#include "hypervisor/cgroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hypervisor/node.hpp"
+
+namespace rrf::hv {
+namespace {
+
+TEST(Cgroup, GrowthIsInstant) {
+  CgroupMemoryController cgroup;
+  const std::size_t c = cgroup.add_vm(2.0, /*max ignored*/ 2.0);
+  cgroup.set_target(c, 8.0);
+  // No step() needed: raising memory.high permits allocation immediately.
+  EXPECT_DOUBLE_EQ(cgroup.allocated(c), 8.0);
+}
+
+TEST(Cgroup, ShrinkIsRateLimitedByReclaim) {
+  CgroupMemoryController cgroup(/*reclaim_gb_per_s=*/1.0);
+  const std::size_t c = cgroup.add_vm(8.0, 8.0);
+  cgroup.set_target(c, 2.0);
+  EXPECT_DOUBLE_EQ(cgroup.allocated(c), 8.0);  // not yet reclaimed
+  cgroup.step(3.0);
+  EXPECT_DOUBLE_EQ(cgroup.allocated(c), 5.0);
+  cgroup.step(10.0);
+  EXPECT_DOUBLE_EQ(cgroup.allocated(c), 2.0);
+}
+
+TEST(Cgroup, NoCeiling) {
+  CgroupMemoryController cgroup;
+  const std::size_t c = cgroup.add_vm(1.0, 1.0);
+  cgroup.set_target(c, 100.0);
+  EXPECT_DOUBLE_EQ(cgroup.allocated(c), 100.0);
+}
+
+TEST(Cgroup, FloorClampsTargets) {
+  CgroupMemoryController cgroup(8.0, /*min_gb=*/0.5);
+  const std::size_t c = cgroup.add_vm(2.0, 2.0);
+  cgroup.set_target(c, 0.0);
+  EXPECT_DOUBLE_EQ(cgroup.target(c), 0.5);
+}
+
+TEST(Cgroup, ValidatesInput) {
+  EXPECT_THROW(CgroupMemoryController(0.0), PreconditionError);
+  CgroupMemoryController cgroup;
+  EXPECT_THROW(cgroup.set_target(3, 1.0), PreconditionError);
+  EXPECT_THROW(cgroup.step(-1.0), PreconditionError);
+}
+
+TEST(Cgroup, NodeContainerModeRetargetsFasterThanBalloon) {
+  // Same reallocation under both backends: the container realises the
+  // higher memory target within one step; the balloon is still moving.
+  for (const bool container : {false, true}) {
+    HypervisorNode::Config config;
+    config.capacity = ResourceVector{12.0, 16.0};
+    config.pricing = PricingModel::example_default();
+    config.memory_backend =
+        container ? MemoryBackend::kCgroup : MemoryBackend::kBalloon;
+    HypervisorNode node(config);
+    node.add_vm(4, ResourceVector{4.0, 2.0}, 16.0);
+    node.apply_shares(
+        std::vector<ResourceVector>{ResourceVector{400.0, 1600.0}});
+    const auto realized = node.step(
+        1.0, std::vector<ResourceVector>{ResourceVector{4.0, 8.0}});
+    if (container) {
+      EXPECT_DOUBLE_EQ(realized[0][Resource::kRam], 8.0);
+    } else {
+      EXPECT_LT(realized[0][Resource::kRam], 3.0);  // 2.0 + 0.5 GB/s lag
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrf::hv

@@ -1,0 +1,124 @@
+#include "hypervisor/credit_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::hv {
+namespace {
+
+TEST(CreditScheduler, ProportionalUnderContention) {
+  CreditScheduler sched(12.0);
+  sched.add_vm(/*weight=*/100.0, /*vcpus=*/8);
+  sched.add_vm(/*weight=*/300.0, /*vcpus=*/8);
+  const std::vector<double> demands{20.0, 20.0};
+  const auto cpu = sched.schedule(demands);
+  EXPECT_NEAR(cpu[0], 3.0, 1e-9);
+  EXPECT_NEAR(cpu[1], 9.0, 1e-9);
+}
+
+TEST(CreditScheduler, WorkConservingRedistributesIdleCycles) {
+  CreditScheduler sched(12.0, SchedulerMode::kWorkConserving);
+  sched.add_vm(100.0, 8);
+  sched.add_vm(100.0, 8);
+  // VM0 only wants 2 GHz; VM1 soaks up the leftovers.
+  const auto cpu = sched.schedule(std::vector<double>{2.0, 20.0});
+  EXPECT_NEAR(cpu[0], 2.0, 1e-9);
+  EXPECT_NEAR(cpu[1], 10.0, 1e-9);
+}
+
+TEST(CreditScheduler, NonWorkConservingParksIdleCycles) {
+  CreditScheduler sched(12.0, SchedulerMode::kNonWorkConserving);
+  sched.add_vm(100.0, 8);
+  sched.add_vm(100.0, 8);
+  const auto cpu = sched.schedule(std::vector<double>{2.0, 20.0});
+  EXPECT_NEAR(cpu[0], 2.0, 1e-9);
+  EXPECT_NEAR(cpu[1], 6.0, 1e-9);  // hard share, no redistribution
+}
+
+TEST(CreditScheduler, CapBoundsAllocation) {
+  CreditScheduler sched(12.0);
+  const std::size_t a = sched.add_vm(100.0, 8, /*cap_ghz=*/1.5);
+  sched.add_vm(100.0, 8);
+  const auto cpu = sched.schedule(std::vector<double>{20.0, 20.0});
+  EXPECT_NEAR(cpu[a], 1.5, 1e-9);
+  EXPECT_NEAR(cpu[1], 10.5, 1e-9);
+}
+
+TEST(CreditScheduler, VcpuCeilingLimitsSingleVm) {
+  CreditScheduler sched(24.0);
+  sched.set_core_ghz(3.0);
+  sched.add_vm(100.0, /*vcpus=*/2);  // ceiling: 6 GHz
+  const auto cpu = sched.schedule(std::vector<double>{20.0});
+  EXPECT_NEAR(cpu[0], 6.0, 1e-9);
+}
+
+TEST(CreditScheduler, WeightAndCapUpdatesTakeEffect) {
+  CreditScheduler sched(10.0);
+  sched.add_vm(100.0, 8);
+  sched.add_vm(100.0, 8);
+  sched.set_weight(0, 400.0);
+  EXPECT_DOUBLE_EQ(sched.weight(0), 400.0);
+  auto cpu = sched.schedule(std::vector<double>{20.0, 20.0});
+  EXPECT_NEAR(cpu[0], 8.0, 1e-9);
+  sched.set_cap(0, 5.0);
+  EXPECT_DOUBLE_EQ(sched.cap(0), 5.0);
+  cpu = sched.schedule(std::vector<double>{20.0, 20.0});
+  EXPECT_NEAR(cpu[0], 5.0, 1e-9);
+  EXPECT_NEAR(cpu[1], 5.0, 1e-9);
+}
+
+TEST(CreditScheduler, SlicedConvergesToClosedForm) {
+  Rng rng(81);
+  for (int t = 0; t < 20; ++t) {
+    CreditScheduler sched(24.0);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    std::vector<double> demands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.add_vm(rng.uniform(50.0, 500.0), 8);
+      demands[i] = rng.uniform(0.0, 15.0);
+    }
+    const auto exact = sched.schedule(demands);
+    const auto sliced = sched.schedule_sliced(demands, /*window_s=*/5.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      // The OVER state shares surplus round-robin (like real Xen), not
+      // weight-proportionally, so per-VM deviations up to ~5% of node
+      // capacity are expected when surplus is large.
+      EXPECT_NEAR(sliced[i], exact[i], 0.05 * sched.capacity())
+          << "trial " << t << " vm " << i;
+    }
+    // Totals match tightly even when per-VM slicing wiggles.
+    const double sum_exact =
+        std::accumulate(exact.begin(), exact.end(), 0.0);
+    const double sum_sliced =
+        std::accumulate(sliced.begin(), sliced.end(), 0.0);
+    EXPECT_NEAR(sum_sliced, sum_exact, 0.15);
+  }
+}
+
+TEST(CreditScheduler, SlicedNeverExceedsCapacity) {
+  CreditScheduler sched(10.0);
+  sched.add_vm(100.0, 8);
+  sched.add_vm(200.0, 8);
+  const auto cpu =
+      sched.schedule_sliced(std::vector<double>{30.0, 30.0}, 5.0);
+  EXPECT_LE(cpu[0] + cpu[1], 10.0 + 1e-9);
+}
+
+TEST(CreditScheduler, ValidatesInput) {
+  EXPECT_THROW(CreditScheduler(-1.0), PreconditionError);
+  CreditScheduler sched(10.0);
+  EXPECT_THROW(sched.add_vm(0.0, 1), PreconditionError);
+  EXPECT_THROW(sched.add_vm(1.0, 0), PreconditionError);
+  sched.add_vm(1.0, 1);
+  EXPECT_THROW(sched.set_weight(5, 1.0), PreconditionError);
+  EXPECT_THROW(sched.schedule(std::vector<double>{1.0, 2.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::hv

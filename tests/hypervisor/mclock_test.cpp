@@ -1,0 +1,104 @@
+#include "hypervisor/mclock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+namespace {
+
+TEST(Mclock, ProportionalSharesUnderContention) {
+  MclockScheduler sched(1000.0);
+  sched.add_vm(/*weight=*/1.0);
+  sched.add_vm(/*weight=*/3.0);
+  const auto iops = sched.schedule(std::vector<double>{2000.0, 2000.0});
+  EXPECT_NEAR(iops[0], 250.0, 5.0);
+  EXPECT_NEAR(iops[1], 750.0, 5.0);
+}
+
+TEST(Mclock, ReservationIsHonouredFirst) {
+  // VM0 has a tiny weight but a 400 IOPS reservation: it gets it.
+  MclockScheduler sched(1000.0);
+  sched.add_vm(0.01, /*reservation=*/400.0);
+  sched.add_vm(10.0);
+  const auto iops = sched.schedule(std::vector<double>{2000.0, 2000.0});
+  EXPECT_GE(iops[0], 395.0);
+  EXPECT_NEAR(iops[0] + iops[1], 1000.0, 1.0);
+}
+
+TEST(Mclock, LimitCapsAThrottledVm) {
+  MclockScheduler sched(1000.0);
+  sched.add_vm(10.0, 0.0, /*limit=*/100.0);
+  sched.add_vm(1.0);
+  const auto iops = sched.schedule(std::vector<double>{2000.0, 2000.0});
+  EXPECT_LE(iops[0], 101.0);
+  EXPECT_GE(iops[1], 890.0);  // the rest flows to the unthrottled VM
+}
+
+TEST(Mclock, WorkConservingWhenDemandIsLow) {
+  MclockScheduler sched(1000.0);
+  sched.add_vm(1.0);
+  sched.add_vm(1.0);
+  const auto iops = sched.schedule(std::vector<double>{100.0, 2000.0});
+  EXPECT_NEAR(iops[0], 100.0, 1.0);
+  EXPECT_NEAR(iops[1], 900.0, 1.0);
+}
+
+TEST(Mclock, AbundantCapacitySatisfiesEveryone) {
+  MclockScheduler sched(1000.0);
+  sched.add_vm(1.0);
+  sched.add_vm(2.0);
+  const auto iops = sched.schedule(std::vector<double>{200.0, 300.0});
+  EXPECT_NEAR(iops[0], 200.0, 1.0);
+  EXPECT_NEAR(iops[1], 300.0, 1.0);
+}
+
+TEST(Mclock, ReservationPlusSharesCompose) {
+  // Three VMs: one reserved, two weighted 1:2 over the remainder.
+  MclockScheduler sched(1200.0);
+  sched.add_vm(0.001, /*reservation=*/300.0);
+  sched.add_vm(1.0);
+  sched.add_vm(2.0);
+  const auto iops = sched.schedule(
+      std::vector<double>{5000.0, 5000.0, 5000.0});
+  EXPECT_NEAR(iops[0], 300.0, 10.0);
+  EXPECT_NEAR(iops[1], 300.0, 15.0);
+  EXPECT_NEAR(iops[2], 600.0, 15.0);
+}
+
+TEST(Mclock, AdmissionControlRejectsOverbooking) {
+  MclockScheduler sched(1000.0);
+  sched.add_vm(1.0, 600.0);
+  EXPECT_THROW(sched.add_vm(1.0, 500.0), PreconditionError);
+  const std::size_t ok = sched.add_vm(1.0, 300.0);
+  EXPECT_THROW(sched.set_reservation(ok, 500.0), PreconditionError);
+  sched.set_reservation(ok, 400.0);  // exactly full is fine
+}
+
+TEST(Mclock, ValidatesInput) {
+  EXPECT_THROW(MclockScheduler(0.0), PreconditionError);
+  MclockScheduler sched(100.0);
+  EXPECT_THROW(sched.add_vm(0.0), PreconditionError);
+  EXPECT_THROW(sched.add_vm(1.0, 50.0, 10.0), PreconditionError);
+  sched.add_vm(1.0);
+  EXPECT_THROW(sched.schedule(std::vector<double>{1.0, 2.0}),
+               PreconditionError);
+  EXPECT_THROW(sched.schedule(std::vector<double>{-1.0}),
+               PreconditionError);
+  EXPECT_THROW(sched.set_weight(4, 1.0), PreconditionError);
+}
+
+TEST(Mclock, NeverExceedsCapacity) {
+  MclockScheduler sched(777.0);
+  sched.add_vm(1.0, 100.0);
+  sched.add_vm(2.0, 0.0, 300.0);
+  sched.add_vm(3.0);
+  const auto iops = sched.schedule(
+      std::vector<double>{1000.0, 1000.0, 1000.0}, /*window_s=*/2.0);
+  EXPECT_LE(std::accumulate(iops.begin(), iops.end(), 0.0), 777.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace rrf::hv

@@ -1,0 +1,111 @@
+#include "hypervisor/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rrf::hv {
+namespace {
+
+HypervisorNode::Config small_node() {
+  HypervisorNode::Config config;
+  config.capacity = ResourceVector{12.0, 16.0};  // 12 GHz, 16 GB
+  config.pricing = PricingModel::example_default();  // 100/GHz, 200/GB
+  return config;
+}
+
+TEST(HypervisorNode, AppliesSharesAsWeightsCapsAndTargets) {
+  HypervisorNode node(small_node());
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+
+  // Reallocate: VM0 gets <6 GHz, 2 GB>, VM1 <4 GHz, 6 GB> (in shares).
+  const std::vector<ResourceVector> shares{
+      ResourceVector{600.0, 400.0}, ResourceVector{400.0, 1200.0}};
+  node.apply_shares(shares);
+  EXPECT_NEAR(node.scheduler().cap(0), 6.0, 1e-6);
+  EXPECT_NEAR(node.scheduler().cap(1), 4.0, 1e-6);
+  EXPECT_NEAR(node.memory().target(0), 2.0, 1e-9);
+  EXPECT_NEAR(node.memory().target(1), 6.0, 1e-9);
+}
+
+TEST(HypervisorNode, StepRealizesCpuInstantlyAndMemoryWithLag) {
+  HypervisorNode node(small_node());
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  const std::vector<ResourceVector> shares{
+      ResourceVector{600.0, 400.0}, ResourceVector{400.0, 1200.0}};
+  node.apply_shares(shares);
+
+  const std::vector<ResourceVector> demands{
+      ResourceVector{10.0, 2.0}, ResourceVector{10.0, 6.0}};
+  const auto realized = node.step(/*dt=*/1.0, demands);
+  // CPU follows the credit scheduler immediately: caps bind.
+  EXPECT_NEAR(realized[0][Resource::kCpu], 6.0, 1e-6);
+  EXPECT_NEAR(realized[1][Resource::kCpu], 4.0, 1e-6);
+  // Memory moved at the balloon rate (0.5 GB/s from 4.0).
+  EXPECT_NEAR(realized[0][Resource::kRam], 3.5, 1e-9);
+  EXPECT_NEAR(realized[1][Resource::kRam], 4.5, 1e-9);
+  // After enough steps memory converges to the targets.
+  for (int i = 0; i < 10; ++i) node.step(1.0, demands);
+  EXPECT_NEAR(node.memory().allocated(0), 2.0, 1e-9);
+  EXPECT_NEAR(node.memory().allocated(1), 6.0, 1e-9);
+}
+
+TEST(HypervisorNode, UncappedModeLetsSpareCyclesFlow) {
+  HypervisorNode::Config config = small_node();
+  config.cap_cpu_at_entitlement = false;
+  HypervisorNode node(config);
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  node.apply_shares(std::vector<ResourceVector>{
+      ResourceVector{600.0, 800.0}, ResourceVector{600.0, 800.0}});
+  // VM0 idles; VM1 can take the whole node despite equal weights.
+  const auto realized = node.step(
+      1.0, std::vector<ResourceVector>{ResourceVector{0.0, 4.0},
+                                       ResourceVector{20.0, 4.0}});
+  EXPECT_NEAR(realized[1][Resource::kCpu], 12.0, 1e-6);
+}
+
+TEST(HypervisorNode, HotplugModeIgnoresCeiling) {
+  HypervisorNode::Config config = small_node();
+  config.memory_backend = MemoryBackend::kHotplug;
+  HypervisorNode node(config);
+  node.add_vm(4, ResourceVector{4.0, 4.0}, /*max_mem_gb=*/4.0);
+  node.apply_shares(
+      std::vector<ResourceVector>{ResourceVector{400.0, 2400.0}});
+  for (int i = 0; i < 10; ++i) {
+    node.step(1.0, std::vector<ResourceVector>{ResourceVector{4.0, 12.0}});
+  }
+  EXPECT_NEAR(node.memory().allocated(0), 12.0, 1e-9);
+}
+
+TEST(HypervisorNode, SlicedDispatchApproximatesFluidLimit) {
+  for (const bool sliced : {false, true}) {
+    HypervisorNode::Config config = small_node();
+    config.use_sliced_scheduler = sliced;
+    HypervisorNode node(config);
+    node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+    node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+    node.apply_shares(std::vector<ResourceVector>{
+        ResourceVector{800.0, 800.0}, ResourceVector{400.0, 800.0}});
+    const auto realized = node.step(
+        5.0, std::vector<ResourceVector>{ResourceVector{20.0, 4.0},
+                                         ResourceVector{20.0, 4.0}});
+    // Caps bind in both modes: 8 GHz and 4 GHz respectively.
+    EXPECT_NEAR(realized[0][Resource::kCpu], 8.0, 0.3) << sliced;
+    EXPECT_NEAR(realized[1][Resource::kCpu], 4.0, 0.3) << sliced;
+  }
+}
+
+TEST(HypervisorNode, ValidatesInput) {
+  HypervisorNode node(small_node());
+  node.add_vm(4, ResourceVector{4.0, 4.0}, 16.0);
+  EXPECT_THROW(node.apply_shares(std::vector<ResourceVector>{}),
+               PreconditionError);
+  EXPECT_THROW(node.step(1.0, std::vector<ResourceVector>{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::hv

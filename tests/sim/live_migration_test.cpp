@@ -1,0 +1,87 @@
+// Tests for the in-run load balancer (EngineConfig::rebalance): live
+// migrations at epoch boundaries with a migration cost model.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace rrf::sim {
+namespace {
+
+/// A deliberately imbalanced first-fit start: the big tenants landed
+/// together on host 0.
+Scenario skewed_scenario() {
+  ScenarioConfig config;
+  config.workloads = {
+      wl::WorkloadKind::kRubbos, wl::WorkloadKind::kHadoop,
+      wl::WorkloadKind::kTpcc,   wl::WorkloadKind::kKernelBuild,
+      wl::WorkloadKind::kTpcc,   wl::WorkloadKind::kKernelBuild};
+  config.hosts = 2;
+  config.seed = 42;
+  config.placement = cluster::PlacementPolicy::kFirstFit;
+  return build_scenario(config);
+}
+
+EngineConfig engine_with_rebalance(bool enabled) {
+  EngineConfig config;
+  config.policy = PolicyKind::kRrf;
+  config.duration = 900.0;
+  config.window = 5.0;
+  config.rebalance.enabled = enabled;
+  config.rebalance.every_windows = 24;  // every 2 minutes
+  return config;
+}
+
+TEST(LiveMigration, DisabledByDefault) {
+  const Scenario s = skewed_scenario();
+  EngineConfig config;
+  config.duration = 300.0;
+  const SimResult r = run_simulation(s, config);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_DOUBLE_EQ(r.migrated_gb, 0.0);
+}
+
+TEST(LiveMigration, MovesVmsAndImprovesSkewedPlacement) {
+  const Scenario s = skewed_scenario();
+  const SimResult stay = run_simulation(s, engine_with_rebalance(false));
+  const SimResult move = run_simulation(s, engine_with_rebalance(true));
+
+  EXPECT_GT(move.migrations, 0u);
+  EXPECT_GT(move.migrated_gb, 0.0);
+  // Migrations pay off despite their cost.
+  EXPECT_GT(move.perf_geomean(), stay.perf_geomean() + 0.01);
+}
+
+TEST(LiveMigration, BalancedPlacementIsLeftAlone) {
+  ScenarioConfig config;
+  config.workloads = wl::paper_workloads();
+  config.hosts = 1;  // single host: nowhere to migrate
+  config.seed = 42;
+  const Scenario s = build_scenario(config);
+  const SimResult r = run_simulation(s, engine_with_rebalance(true));
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(LiveMigration, PenaltyDegradesMigratedVms) {
+  // With an absurd penalty the migrations should stop paying off.
+  const Scenario s = skewed_scenario();
+  EngineConfig harsh = engine_with_rebalance(true);
+  harsh.rebalance.penalty_windows = 100;
+  harsh.rebalance.slowdown = 0.05;
+  EngineConfig mild = engine_with_rebalance(true);
+  const SimResult a = run_simulation(s, harsh);
+  const SimResult b = run_simulation(s, mild);
+  EXPECT_LT(a.perf_geomean(), b.perf_geomean());
+}
+
+TEST(LiveMigration, MetricsStayConsistentAcrossMigrations) {
+  const Scenario s = skewed_scenario();
+  const SimResult r = run_simulation(s, engine_with_rebalance(true));
+  for (const auto& tenant : r.tenants) {
+    EXPECT_EQ(tenant.windows(), 180u);
+    EXPECT_GT(tenant.beta(), 0.4);
+    EXPECT_LT(tenant.beta(), 1.6);
+  }
+}
+
+}  // namespace
+}  // namespace rrf::sim

@@ -1,0 +1,136 @@
+#include "sim/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rrf::sim {
+namespace {
+
+TEST(Predictor, ConvergesOnConstantDemand) {
+  DemandPredictor p;
+  const ResourceVector d{10.0, 4.0};
+  for (int i = 0; i < 50; ++i) p.observe(d);
+  const ResourceVector forecast = p.predict();
+  // Converged EWMA plus the base pad (5%).
+  EXPECT_NEAR(forecast[0], 10.5, 0.05);
+  EXPECT_NEAR(forecast[1], 4.2, 0.02);
+}
+
+TEST(Predictor, ZeroBeforeFirstObservation) {
+  DemandPredictor p;
+  EXPECT_TRUE(p.predict().approx_equal(ResourceVector{0.0, 0.0}, 1e-12));
+  EXPECT_EQ(p.observations(), 0u);
+}
+
+TEST(Predictor, TracksStepChange) {
+  DemandPredictor p;
+  for (int i = 0; i < 20; ++i) p.observe(ResourceVector{2.0, 2.0});
+  for (int i = 0; i < 20; ++i) p.observe(ResourceVector{10.0, 10.0});
+  const ResourceVector forecast = p.predict();
+  EXPECT_GT(forecast[0], 9.0);
+}
+
+TEST(Predictor, AdaptivePaddingGrowsOnUnderPrediction) {
+  PredictorConfig config;
+  config.base_padding = 0.0;
+  DemandPredictor p(2, config);
+  // Oscillating demand keeps the forecast under the peaks.
+  for (int i = 0; i < 30; ++i) {
+    p.predict();  // record a forecast so the error is measured
+    p.observe(ResourceVector{i % 2 == 0 ? 10.0 : 2.0, 4.0});
+  }
+  // The pad must now cover a good part of the recent undershoot.
+  p.observe(ResourceVector{2.0, 4.0});
+  const ResourceVector forecast = p.predict();
+  EXPECT_GT(forecast[0], 4.0);  // well above the bare EWMA of ~6 * small
+}
+
+TEST(Predictor, PaddingIsCapped) {
+  PredictorConfig config;
+  config.max_padding = 0.10;
+  DemandPredictor p(2, config);
+  for (int i = 0; i < 30; ++i) {
+    p.predict();
+    p.observe(ResourceVector{i % 2 == 0 ? 100.0 : 0.1, 4.0});
+  }
+  const ResourceVector forecast = p.predict();
+  // Even with terrible undershoots, pad <= 10% of the EWMA.
+  EXPECT_LT(forecast[0], 100.0 * 1.1);
+}
+
+TEST(PeriodicPredictor, DetectsSquareWavePeriod) {
+  PredictorConfig config;
+  config.enable_periodicity = true;
+  config.min_period = 4;
+  DemandPredictor p(2, config);
+  // Period-20 square wave.
+  for (int i = 0; i < 200; ++i) {
+    const double v = (i / 10) % 2 == 0 ? 10.0 : 2.0;
+    p.observe(ResourceVector{v, v});
+  }
+  EXPECT_NEAR(static_cast<double>(p.detected_period()), 20.0, 1.0);
+}
+
+TEST(PeriodicPredictor, AnticipatesRampsBetterThanEwma) {
+  PredictorConfig ewma_only;
+  PredictorConfig periodic;
+  periodic.enable_periodicity = true;
+  periodic.min_period = 4;
+  DemandPredictor a(2, ewma_only);
+  DemandPredictor b(2, periodic);
+
+  // Period-20 square wave; accumulate absolute forecast errors over the
+  // last cycles (after the period is locked in).
+  double err_a = 0.0, err_b = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double v = (i / 10) % 2 == 0 ? 10.0 : 2.0;
+    const ResourceVector actual{v, v};
+    if (i > 200) {
+      err_a += std::abs(a.predict()[0] - v);
+      err_b += std::abs(b.predict()[0] - v);
+    }
+    a.observe(actual);
+    b.observe(actual);
+  }
+  EXPECT_LT(err_b, 0.8 * err_a);
+}
+
+TEST(PeriodicPredictor, NoPeriodOnNoise) {
+  PredictorConfig config;
+  config.enable_periodicity = true;
+  config.min_period = 4;
+  config.period_confidence = 0.6;
+  DemandPredictor p(2, config);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    p.observe(ResourceVector{rng.uniform(0.0, 10.0), 4.0});
+  }
+  EXPECT_EQ(p.detected_period(), 0u);
+}
+
+TEST(PeriodicPredictor, ValidatesConfig) {
+  PredictorConfig bad;
+  bad.enable_periodicity = true;
+  bad.min_period = 1;
+  EXPECT_THROW(DemandPredictor(2, bad), PreconditionError);
+  PredictorConfig short_history;
+  short_history.enable_periodicity = true;
+  short_history.history = 8;
+  short_history.min_period = 8;
+  EXPECT_THROW(DemandPredictor(2, short_history), PreconditionError);
+}
+
+TEST(Predictor, ValidatesInput) {
+  PredictorConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(DemandPredictor(2, bad), PreconditionError);
+  DemandPredictor p;
+  EXPECT_THROW(p.observe(ResourceVector{1.0, 1.0, 1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::sim

@@ -1,0 +1,96 @@
+#include "workload/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rrf::wl {
+namespace {
+
+TEST(PerfModel, FullSatisfactionScoresOne) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, d), 1.0);
+  EXPECT_DOUBLE_EQ(model.step_inverse_latency(d, d), 1.0);
+  // Over-allocation does not score above 1.
+  EXPECT_DOUBLE_EQ(model.step_progress(d, d * 2.0), 1.0);
+}
+
+TEST(PerfModel, ZeroDemandIsAlwaysSatisfied) {
+  const PerfModel model;
+  const ResourceVector d{0.0, 0.0};
+  const ResourceVector a{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, a), 1.0);
+}
+
+TEST(PerfModel, CpuShortfallDegradesLinearly) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  const ResourceVector half{5.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, half), 0.5);
+}
+
+TEST(PerfModel, MemoryShortfallDegradesSuperLinearly) {
+  const PerfModel model;  // default exponent 2
+  const ResourceVector d{10.0, 4.0};
+  const ResourceVector half_mem{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, half_mem), 0.25);
+  // Memory shortfall hurts more than the same CPU shortfall.
+  const ResourceVector half_cpu{5.0, 4.0};
+  EXPECT_LT(model.step_progress(d, half_mem),
+            model.step_progress(d, half_cpu));
+}
+
+TEST(PerfModel, ProgressFloorHolds) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  const ResourceVector nothing{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, nothing),
+                   model.config().progress_floor);
+}
+
+TEST(PerfModel, LatencyDegradesFasterThanThroughput) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  const ResourceVector a{7.0, 4.0};
+  EXPECT_LT(model.step_inverse_latency(d, a), model.step_progress(d, a));
+}
+
+TEST(PerfModel, StepScoreDispatch) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  const ResourceVector a{5.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.step_score(PerfMetric::kThroughput, d, a),
+                   model.step_progress(d, a));
+  EXPECT_DOUBLE_EQ(model.step_score(PerfMetric::kResponseTime, d, a),
+                   model.step_inverse_latency(d, a));
+}
+
+TEST(PerfModel, MonotonicInAllocation) {
+  const PerfModel model;
+  const ResourceVector d{10.0, 4.0};
+  double prev = 0.0;
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const double score = model.step_progress(d, d * f);
+    EXPECT_GE(score, prev);
+    prev = score;
+  }
+}
+
+TEST(PerfModel, CustomExponent) {
+  PerfModelConfig config;
+  config.mem_penalty_exponent = 3.0;
+  const PerfModel model(config);
+  const ResourceVector d{10.0, 4.0};
+  EXPECT_DOUBLE_EQ(model.step_progress(d, ResourceVector{10.0, 2.0}), 0.125);
+}
+
+TEST(PerfModel, ArityMismatchThrows) {
+  const PerfModel model;
+  EXPECT_THROW(model.step_progress(ResourceVector{1.0, 1.0},
+                                   ResourceVector{1.0, 1.0, 1.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace rrf::wl

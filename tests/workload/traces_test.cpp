@@ -1,0 +1,135 @@
+#include "workload/traces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "workload/profile.hpp"
+
+namespace rrf::wl {
+namespace {
+
+/// Statistical fidelity to Table IV: mean within tolerance, peak within
+/// reach of the paper's value, and everything non-negative.
+class TraceFidelity : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(TraceFidelity, MeanTracksTableFour) {
+  const WorkloadPtr w = make_workload(GetParam(), /*seed=*/7);
+  const WorkloadProfile p = profile_workload(*w, 2700.0, 1.0);
+  const DemandProfileSpec spec = paper_demand_spec(GetParam());
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(p.average[k], spec.average[k], 0.15 * spec.average[k])
+        << to_string(GetParam()) << " type " << k;
+    EXPECT_LE(p.peak[k], spec.peak[k] * 1.10)
+        << to_string(GetParam()) << " type " << k;
+  }
+}
+
+TEST_P(TraceFidelity, DemandsAreNonNegativeAndFinite) {
+  const WorkloadPtr w = make_workload(GetParam(), 11);
+  for (double t = 0.0; t < 2700.0; t += 7.0) {
+    const ResourceVector d = w->demand_at(t);
+    EXPECT_TRUE(d.all_nonneg()) << t;
+    EXPECT_LT(d[0], 100.0);
+    EXPECT_LT(d[1], 32.0);
+  }
+}
+
+TEST_P(TraceFidelity, DeterministicInSeed) {
+  const WorkloadPtr a = make_workload(GetParam(), 5);
+  const WorkloadPtr b = make_workload(GetParam(), 5);
+  const WorkloadPtr c = make_workload(GetParam(), 6);
+  bool any_diff = false;
+  for (double t = 0.0; t < 500.0; t += 13.0) {
+    EXPECT_TRUE(a->demand_at(t).approx_equal(b->demand_at(t), 1e-12));
+    if (!a->demand_at(t).approx_equal(c->demand_at(t), 1e-9)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+TEST_P(TraceFidelity, VmDemandsSumToTotal) {
+  const WorkloadPtr w = make_workload(GetParam(), 9);
+  for (double t = 0.0; t < 1000.0; t += 37.0) {
+    const ResourceVector total = w->demand_at(t);
+    const auto per_vm = w->vm_demands_at(t);
+    EXPECT_EQ(per_vm.size(), w->vm_split().size());
+    ResourceVector sum(total.size());
+    for (const auto& d : per_vm) sum += d;
+    EXPECT_TRUE(sum.approx_equal(total, 1e-9)) << t;
+  }
+}
+
+TEST_P(TraceFidelity, SplitSumsToOne) {
+  const WorkloadPtr w = make_workload(GetParam(), 1);
+  const auto split = w->vm_split();
+  const double sum = std::accumulate(split.begin(), split.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TraceFidelity,
+    ::testing::Values(WorkloadKind::kTpcc, WorkloadKind::kRubbos,
+                      WorkloadKind::kKernelBuild, WorkloadKind::kHadoop),
+    [](const auto& param_info) {
+      std::string n = to_string(param_info.param);
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n;
+    });
+
+TEST(TraceShapes, TpccIsOnOff) {
+  // The on-off pattern yields strongly bimodal CPU demand: the standard
+  // deviation is large relative to the mean.
+  const TpccWorkload w(3);
+  const WorkloadProfile p = profile_workload(w, 2700.0, 1.0);
+  EXPECT_GT(p.stddev[0] / p.average[0], 0.5);
+}
+
+TEST(TraceShapes, RubbosIsCyclical) {
+  // Alternating 500/1000-user phases: demand at half-period offsets is
+  // anti-correlated.
+  const RubbosWorkload w(3);
+  std::vector<double> first, shifted;
+  for (double t = 0.0; t < 1200.0; t += 5.0) {
+    first.push_back(w.demand_at(t)[0]);
+    shifted.push_back(w.demand_at(t + 300.0)[0]);  // half of the 600s cycle
+  }
+  EXPECT_LT(pearson(first, shifted), -0.5);
+}
+
+TEST(TraceShapes, KernelBuildIsSteady) {
+  const KernelBuildWorkload w(3);
+  const WorkloadProfile p = profile_workload(w, 2700.0, 1.0);
+  EXPECT_LT(p.stddev[0] / p.average[0], 0.25);
+  EXPECT_LT(p.stddev[1] / p.average[1], 0.15);
+}
+
+TEST(TraceShapes, HadoopIsStableThenReduces) {
+  const HadoopWorkload w(3);
+  // Map stage (t < 95% of the trace) is stable and high...
+  const ResourceVector mid = w.demand_at(1000.0);
+  // ... the reduce tail drops CPU markedly.
+  const ResourceVector tail = w.demand_at(2680.0);
+  EXPECT_LT(tail[0], 0.6 * mid[0]);
+}
+
+TEST(TraceShapes, TraceWrapsAround) {
+  const KernelBuildWorkload w(3, /*length=*/100.0);
+  EXPECT_TRUE(w.demand_at(0.0).approx_equal(w.demand_at(100.0), 1e-12));
+  EXPECT_TRUE(w.demand_at(37.0).approx_equal(w.demand_at(137.0), 1e-12));
+}
+
+TEST(Profile, CapturesPercentilesAndCorrelation) {
+  const HadoopWorkload w(3);
+  const WorkloadProfile p = profile_workload(w, 2700.0, 5.0);
+  EXPECT_GE(p.peak[0], p.p95[0]);
+  EXPECT_GE(p.p95[0], p.average[0] * 0.8);
+  EXPECT_GE(p.cpu_ram_correlation, -1.0);
+  EXPECT_LE(p.cpu_ram_correlation, 1.0);
+}
+
+}  // namespace
+}  // namespace rrf::wl

@@ -1,0 +1,231 @@
+// rrf_sim_cli — run RRF (or any baseline) on a configurable scenario from
+// the command line.
+//
+//   rrf_sim_cli --policy rrf --workloads tpcc,rubbos --alpha 1.0
+//               --hosts 2 --duration 1200 --window 5 --csv out.csv
+//   rrf_sim_cli --policy all --fill        # compare every policy
+//
+// Run with --help for the full flag list.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/experiments.hpp"
+#include "workload/profile.hpp"
+#include "workload/replay.hpp"
+
+namespace {
+
+using namespace rrf;
+
+struct CliOptions {
+  std::string policy = "rrf";
+  std::vector<wl::WorkloadKind> workloads = wl::paper_workloads();
+  double alpha = 1.0;
+  std::size_t hosts = 1;
+  bool fill = false;
+  double duration = 1200.0;
+  double window = 5.0;
+  std::uint64_t seed = 42;
+  bool actuators = true;
+  bool oracle = false;
+  std::string memory = "balloon";
+  std::string csv;
+  /// CSV demand traces to replay as extra tenants (repeatable flag).
+  std::vector<std::string> replays;
+  bool sliced = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "rrf_sim_cli — multi-resource fair-sharing simulator (RRF, SC'14)\n\n"
+      "  --policy <name>     tshirt|wmmf|drf|drf-seq|iwa|rrf|rrf-sp|rrf-lt"
+      "|all (default rrf)\n"
+      "  --workloads <list>  comma list of tpcc,rubbos,kernel,hadoop;\n"
+      "                      repeats allowed (default: all four, once)\n"
+      "  --alpha <f>         provisioning coefficient (default 1.0)\n"
+      "  --hosts <n>         number of paper hosts (default 1)\n"
+      "  --fill              pack tenants (cycling --workloads) until the\n"
+      "                      cluster is full instead of one tenant each\n"
+      "  --duration <s>      simulated seconds (default 1200)\n"
+      "  --window <s>        allocation period (default 5)\n"
+      "  --seed <n>          RNG seed (default 42)\n"
+      "  --no-actuators      ideal actuation (no balloon/scheduler model)\n"
+      "  --oracle            allocator sees true demand (no predictor)\n"
+      "  --memory <b>        balloon|hotplug|cgroup (default balloon)\n"
+      "  --replay <path>     add a tenant replaying a CSV demand trace\n"
+      "                      (t_seconds,cpu_ghz,ram_gb; repeatable)\n"
+      "  --sliced            slice-level credit-scheduler dispatch\n"
+      "  --csv <path>        write per-tenant results as CSV\n"
+      "  --help\n";
+  std::exit(code);
+}
+
+wl::WorkloadKind parse_workload(const std::string& name) {
+  if (name == "tpcc") return wl::WorkloadKind::kTpcc;
+  if (name == "rubbos") return wl::WorkloadKind::kRubbos;
+  if (name == "kernel") return wl::WorkloadKind::kKernelBuild;
+  if (name == "hadoop") return wl::WorkloadKind::kHadoop;
+  std::cerr << "unknown workload: " << name << "\n";
+  usage(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--policy") options.policy = next(i);
+    else if (arg == "--alpha") options.alpha = std::stod(next(i));
+    else if (arg == "--hosts") options.hosts = std::stoul(next(i));
+    else if (arg == "--fill") options.fill = true;
+    else if (arg == "--duration") options.duration = std::stod(next(i));
+    else if (arg == "--window") options.window = std::stod(next(i));
+    else if (arg == "--seed") options.seed = std::stoull(next(i));
+    else if (arg == "--no-actuators") options.actuators = false;
+    else if (arg == "--oracle") options.oracle = true;
+    else if (arg == "--memory") options.memory = next(i);
+    else if (arg == "--replay") options.replays.push_back(next(i));
+    else if (arg == "--sliced") options.sliced = true;
+    else if (arg == "--csv") options.csv = next(i);
+    else if (arg == "--workloads") {
+      options.workloads.clear();
+      std::stringstream ss(next(i));
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        options.workloads.push_back(parse_workload(token));
+      }
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(2);
+    }
+  }
+  if (options.workloads.empty()) {
+    std::cerr << "no workloads given\n";
+    usage(2);
+  }
+  return options;
+}
+
+sim::EngineConfig engine_config(const CliOptions& options) {
+  sim::EngineConfig engine;
+  engine.duration = options.duration;
+  engine.window = options.window;
+  engine.use_actuators = options.actuators;
+  engine.use_predictor = !options.oracle;
+  engine.use_sliced_scheduler = options.sliced;
+  if (options.memory == "balloon") {
+    engine.memory_backend = hv::MemoryBackend::kBalloon;
+  } else if (options.memory == "hotplug") {
+    engine.memory_backend = hv::MemoryBackend::kHotplug;
+  } else if (options.memory == "cgroup") {
+    engine.memory_backend = hv::MemoryBackend::kCgroup;
+  } else {
+    std::cerr << "unknown memory backend: " << options.memory << "\n";
+    usage(2);
+  }
+  return engine;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+
+  sim::Scenario scenario = [&] {
+    if (options.fill) {
+      return sim::fill_scenario(options.hosts, options.workloads,
+                                options.alpha, options.seed);
+    }
+    sim::ScenarioConfig config;
+    config.workloads = options.workloads;
+    config.alpha = options.alpha;
+    config.hosts = options.hosts;
+    config.seed = options.seed;
+    return sim::build_scenario(config);
+  }();
+  // Replayed traces become extra single-VM tenants provisioned at their
+  // average demand times alpha, placed greedily on the least-loaded host.
+  for (const std::string& path : options.replays) {
+    auto replay = wl::ReplayWorkload::from_csv_file(path);
+    const wl::WorkloadProfile profile =
+        wl::profile_workload(*replay, replay->trace_length(), 1.0);
+    cluster::TenantSpec tenant;
+    tenant.name = replay->name();
+    cluster::VmSpec vm;
+    vm.name = tenant.name + "/vm0";
+    vm.provisioned = profile.average * options.alpha;
+    const double peak_cores =
+        profile.peak[Resource::kCpu] / wl::kCoreGhz;
+    vm.vcpus = std::max<std::size_t>(
+        4, static_cast<std::size_t>(std::ceil(peak_cores)));
+    tenant.vms.push_back(vm);
+    const std::size_t t = scenario.cluster.add_tenant(tenant);
+    scenario.workloads.push_back(std::move(replay));
+    scenario.host_of.push_back({t % scenario.cluster.hosts().size()});
+  }
+  if (!scenario.unplaced.empty()) {
+    std::cerr << "warning: " << scenario.unplaced.size()
+              << " VM(s) did not fit and are excluded\n";
+  }
+
+  std::vector<sim::PolicyKind> policies;
+  if (options.policy == "all") {
+    policies = {sim::PolicyKind::kTshirt, sim::PolicyKind::kWmmf,
+                sim::PolicyKind::kDrf,    sim::PolicyKind::kDrfSeq,
+                sim::PolicyKind::kIwaOnly, sim::PolicyKind::kRrf,
+                sim::PolicyKind::kRrfSp,  sim::PolicyKind::kRrfLt};
+  } else {
+    policies = {sim::policy_from_string(options.policy)};
+  }
+
+  const sim::EngineConfig engine = engine_config(options);
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"policy", "tenant", "beta", "perf"});
+
+  for (const sim::PolicyKind policy : policies) {
+    sim::EngineConfig config = engine;
+    config.policy = policy;
+    const sim::SimResult result = sim::run_simulation(scenario, config);
+
+    TextTable table(sim::to_string(policy));
+    table.header({"tenant", "beta", "perf", "mean D/S"});
+    for (const auto& tenant : result.tenants) {
+      table.row({tenant.name(), TextTable::num(tenant.beta(), 3),
+                 TextTable::num(tenant.mean_perf(), 3),
+                 TextTable::num(mean(tenant.demand_ratio_series()), 3)});
+      csv.push_back({sim::to_string(policy), tenant.name(),
+                     TextTable::num(tenant.beta(), 6),
+                     TextTable::num(tenant.mean_perf(), 6)});
+    }
+    table.print(std::cout);
+    std::cout << "geomeans: beta "
+              << TextTable::num(result.fairness_geomean(), 3) << ", perf "
+              << TextTable::num(result.perf_geomean(), 3)
+              << "; utilization CPU "
+              << TextTable::pct(result.mean_utilization[0]) << " RAM "
+              << TextTable::pct(result.mean_utilization[1])
+              << "; allocator load "
+              << TextTable::pct(result.allocator_load(), 4) << "\n\n";
+  }
+
+  if (!options.csv.empty()) {
+    write_csv(options.csv, csv);
+    std::cout << "wrote " << options.csv << "\n";
+  }
+  return 0;
+}
