@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_actuation"
+  "../bench/ablation_actuation.pdb"
+  "CMakeFiles/ablation_actuation.dir/ablation_actuation.cpp.o"
+  "CMakeFiles/ablation_actuation.dir/ablation_actuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_actuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

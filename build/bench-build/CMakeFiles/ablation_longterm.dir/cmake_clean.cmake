@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_longterm"
+  "../bench/ablation_longterm.pdb"
+  "CMakeFiles/ablation_longterm.dir/ablation_longterm.cpp.o"
+  "CMakeFiles/ablation_longterm.dir/ablation_longterm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_longterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

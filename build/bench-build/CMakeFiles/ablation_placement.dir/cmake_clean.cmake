@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_placement"
+  "../bench/ablation_placement.pdb"
+  "CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o"
+  "CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

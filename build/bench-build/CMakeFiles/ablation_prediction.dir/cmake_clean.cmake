@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prediction"
+  "../bench/ablation_prediction.pdb"
+  "CMakeFiles/ablation_prediction.dir/ablation_prediction.cpp.o"
+  "CMakeFiles/ablation_prediction.dir/ablation_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pricing"
+  "../bench/ablation_pricing.pdb"
+  "CMakeFiles/ablation_pricing.dir/ablation_pricing.cpp.o"
+  "CMakeFiles/ablation_pricing.dir/ablation_pricing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

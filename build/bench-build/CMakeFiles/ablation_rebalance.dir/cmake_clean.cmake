@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rebalance"
+  "../bench/ablation_rebalance.pdb"
+  "CMakeFiles/ablation_rebalance.dir/ablation_rebalance.cpp.o"
+  "CMakeFiles/ablation_rebalance.dir/ablation_rebalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

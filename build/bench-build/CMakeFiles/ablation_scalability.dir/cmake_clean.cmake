@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scalability"
+  "../bench/ablation_scalability.pdb"
+  "CMakeFiles/ablation_scalability.dir/ablation_scalability.cpp.o"
+  "CMakeFiles/ablation_scalability.dir/ablation_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_overhead"
+  "../bench/fig10_overhead.pdb"
+  "CMakeFiles/fig10_overhead.dir/fig10_overhead.cpp.o"
+  "CMakeFiles/fig10_overhead.dir/fig10_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

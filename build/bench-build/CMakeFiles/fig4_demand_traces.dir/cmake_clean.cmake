@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_demand_traces"
+  "../bench/fig4_demand_traces.pdb"
+  "CMakeFiles/fig4_demand_traces.dir/fig4_demand_traces.cpp.o"
+  "CMakeFiles/fig4_demand_traces.dir/fig4_demand_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_demand_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_rrf_allocation"
+  "../bench/fig5_rrf_allocation.pdb"
+  "CMakeFiles/fig5_rrf_allocation.dir/fig5_rrf_allocation.cpp.o"
+  "CMakeFiles/fig5_rrf_allocation.dir/fig5_rrf_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rrf_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fairness"
+  "../bench/fig6_fairness.pdb"
+  "CMakeFiles/fig6_fairness.dir/fig6_fairness.cpp.o"
+  "CMakeFiles/fig6_fairness.dir/fig6_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

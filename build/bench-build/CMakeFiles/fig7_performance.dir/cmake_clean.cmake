@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_performance"
+  "../bench/fig7_performance.pdb"
+  "CMakeFiles/fig7_performance.dir/fig7_performance.cpp.o"
+  "CMakeFiles/fig7_performance.dir/fig7_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

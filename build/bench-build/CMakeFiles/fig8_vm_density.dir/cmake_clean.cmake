@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_vm_density"
+  "../bench/fig8_vm_density.pdb"
+  "CMakeFiles/fig8_vm_density.dir/fig8_vm_density.cpp.o"
+  "CMakeFiles/fig8_vm_density.dir/fig8_vm_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vm_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cost_tradeoff"
+  "../bench/fig9_cost_tradeoff.pdb"
+  "CMakeFiles/fig9_cost_tradeoff.dir/fig9_cost_tradeoff.cpp.o"
+  "CMakeFiles/fig9_cost_tradeoff.dir/fig9_cost_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

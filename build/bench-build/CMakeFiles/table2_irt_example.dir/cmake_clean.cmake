@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_irt_example"
+  "../bench/table2_irt_example.pdb"
+  "CMakeFiles/table2_irt_example.dir/table2_irt_example.cpp.o"
+  "CMakeFiles/table2_irt_example.dir/table2_irt_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_irt_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_irt_example.
+# This may be replaced when dependencies are built.

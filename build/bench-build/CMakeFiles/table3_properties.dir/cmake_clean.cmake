@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_properties"
+  "../bench/table3_properties.pdb"
+  "CMakeFiles/table3_properties.dir/table3_properties.cpp.o"
+  "CMakeFiles/table3_properties.dir/table3_properties.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_workload_profiles"
+  "../bench/table4_workload_profiles.pdb"
+  "CMakeFiles/table4_workload_profiles.dir/table4_workload_profiles.cpp.o"
+  "CMakeFiles/table4_workload_profiles.dir/table4_workload_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_workload_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/free_rider"
+  "../examples/free_rider.pdb"
+  "CMakeFiles/free_rider.dir/free_rider.cpp.o"
+  "CMakeFiles/free_rider.dir/free_rider.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_rider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/long_term_fairness"
+  "../examples/long_term_fairness.pdb"
+  "CMakeFiles/long_term_fairness.dir/long_term_fairness.cpp.o"
+  "CMakeFiles/long_term_fairness.dir/long_term_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_term_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for long_term_fairness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multi_tenant_cloud"
+  "../examples/multi_tenant_cloud.pdb"
+  "CMakeFiles/multi_tenant_cloud.dir/multi_tenant_cloud.cpp.o"
+  "CMakeFiles/multi_tenant_cloud.dir/multi_tenant_cloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

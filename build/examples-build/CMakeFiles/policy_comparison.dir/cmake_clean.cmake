@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/policy_comparison"
+  "../examples/policy_comparison.pdb"
+  "CMakeFiles/policy_comparison.dir/policy_comparison.cpp.o"
+  "CMakeFiles/policy_comparison.dir/policy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

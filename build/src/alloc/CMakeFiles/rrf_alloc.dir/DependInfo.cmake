@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/drf.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/drf.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/drf.cpp.o.d"
+  "/root/repo/src/alloc/entity.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/entity.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/entity.cpp.o.d"
+  "/root/repo/src/alloc/entity_io.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/entity_io.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/entity_io.cpp.o.d"
+  "/root/repo/src/alloc/factory.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/factory.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/factory.cpp.o.d"
+  "/root/repo/src/alloc/irt.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/irt.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/irt.cpp.o.d"
+  "/root/repo/src/alloc/iwa.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/iwa.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/iwa.cpp.o.d"
+  "/root/repo/src/alloc/properties.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/properties.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/properties.cpp.o.d"
+  "/root/repo/src/alloc/rrf.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/rrf.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/rrf.cpp.o.d"
+  "/root/repo/src/alloc/tshirt.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/tshirt.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/tshirt.cpp.o.d"
+  "/root/repo/src/alloc/wmmf.cpp" "src/alloc/CMakeFiles/rrf_alloc.dir/wmmf.cpp.o" "gcc" "src/alloc/CMakeFiles/rrf_alloc.dir/wmmf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_alloc.dir/drf.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/drf.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/entity.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/entity.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/entity_io.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/entity_io.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/factory.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/factory.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/irt.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/irt.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/iwa.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/iwa.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/properties.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/properties.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/rrf.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/rrf.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/tshirt.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/tshirt.cpp.o.d"
+  "CMakeFiles/rrf_alloc.dir/wmmf.cpp.o"
+  "CMakeFiles/rrf_alloc.dir/wmmf.cpp.o.d"
+  "librrf_alloc.a"
+  "librrf_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/rrf_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/rrf_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/cluster/CMakeFiles/rrf_cluster.dir/placement.cpp.o" "gcc" "src/cluster/CMakeFiles/rrf_cluster.dir/placement.cpp.o.d"
+  "/root/repo/src/cluster/rebalance.cpp" "src/cluster/CMakeFiles/rrf_cluster.dir/rebalance.cpp.o" "gcc" "src/cluster/CMakeFiles/rrf_cluster.dir/rebalance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

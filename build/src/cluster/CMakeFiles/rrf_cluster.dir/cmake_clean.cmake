@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/rrf_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/rrf_cluster.dir/placement.cpp.o"
+  "CMakeFiles/rrf_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/rrf_cluster.dir/rebalance.cpp.o"
+  "CMakeFiles/rrf_cluster.dir/rebalance.cpp.o.d"
+  "librrf_cluster.a"
+  "librrf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

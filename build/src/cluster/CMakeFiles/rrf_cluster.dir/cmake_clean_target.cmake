@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrf_cluster.a"
+)

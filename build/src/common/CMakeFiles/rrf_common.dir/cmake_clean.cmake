@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_common.dir/log.cpp.o"
+  "CMakeFiles/rrf_common.dir/log.cpp.o.d"
+  "CMakeFiles/rrf_common.dir/pricing.cpp.o"
+  "CMakeFiles/rrf_common.dir/pricing.cpp.o.d"
+  "CMakeFiles/rrf_common.dir/resource_vector.cpp.o"
+  "CMakeFiles/rrf_common.dir/resource_vector.cpp.o.d"
+  "CMakeFiles/rrf_common.dir/stats.cpp.o"
+  "CMakeFiles/rrf_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rrf_common.dir/table.cpp.o"
+  "CMakeFiles/rrf_common.dir/table.cpp.o.d"
+  "CMakeFiles/rrf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/rrf_common.dir/thread_pool.cpp.o.d"
+  "librrf_common.a"
+  "librrf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_core.dir/experiments.cpp.o"
+  "CMakeFiles/rrf_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/rrf_core.dir/rrf_system.cpp.o"
+  "CMakeFiles/rrf_core.dir/rrf_system.cpp.o.d"
+  "librrf_core.a"
+  "librrf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/balloon.cpp" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/balloon.cpp.o" "gcc" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/balloon.cpp.o.d"
+  "/root/repo/src/hypervisor/cgroup.cpp" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/cgroup.cpp.o" "gcc" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/cgroup.cpp.o.d"
+  "/root/repo/src/hypervisor/credit_scheduler.cpp" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/credit_scheduler.cpp.o" "gcc" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/credit_scheduler.cpp.o.d"
+  "/root/repo/src/hypervisor/mclock.cpp" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/mclock.cpp.o" "gcc" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/mclock.cpp.o.d"
+  "/root/repo/src/hypervisor/node.cpp" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/node.cpp.o" "gcc" "src/hypervisor/CMakeFiles/rrf_hypervisor.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/rrf_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_hypervisor.dir/balloon.cpp.o"
+  "CMakeFiles/rrf_hypervisor.dir/balloon.cpp.o.d"
+  "CMakeFiles/rrf_hypervisor.dir/cgroup.cpp.o"
+  "CMakeFiles/rrf_hypervisor.dir/cgroup.cpp.o.d"
+  "CMakeFiles/rrf_hypervisor.dir/credit_scheduler.cpp.o"
+  "CMakeFiles/rrf_hypervisor.dir/credit_scheduler.cpp.o.d"
+  "CMakeFiles/rrf_hypervisor.dir/mclock.cpp.o"
+  "CMakeFiles/rrf_hypervisor.dir/mclock.cpp.o.d"
+  "CMakeFiles/rrf_hypervisor.dir/node.cpp.o"
+  "CMakeFiles/rrf_hypervisor.dir/node.cpp.o.d"
+  "librrf_hypervisor.a"
+  "librrf_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrf_hypervisor.a"
+)

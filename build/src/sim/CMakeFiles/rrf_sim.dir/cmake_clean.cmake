@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_sim.dir/engine.cpp.o"
+  "CMakeFiles/rrf_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rrf_sim.dir/metrics.cpp.o"
+  "CMakeFiles/rrf_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/rrf_sim.dir/predictor.cpp.o"
+  "CMakeFiles/rrf_sim.dir/predictor.cpp.o.d"
+  "CMakeFiles/rrf_sim.dir/scenario.cpp.o"
+  "CMakeFiles/rrf_sim.dir/scenario.cpp.o.d"
+  "librrf_sim.a"
+  "librrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/perf_model.cpp" "src/workload/CMakeFiles/rrf_workload.dir/perf_model.cpp.o" "gcc" "src/workload/CMakeFiles/rrf_workload.dir/perf_model.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/rrf_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/rrf_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/rrf_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/rrf_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/workload/traces.cpp" "src/workload/CMakeFiles/rrf_workload.dir/traces.cpp.o" "gcc" "src/workload/CMakeFiles/rrf_workload.dir/traces.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/rrf_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/rrf_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_workload.dir/perf_model.cpp.o"
+  "CMakeFiles/rrf_workload.dir/perf_model.cpp.o.d"
+  "CMakeFiles/rrf_workload.dir/profile.cpp.o"
+  "CMakeFiles/rrf_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/rrf_workload.dir/replay.cpp.o"
+  "CMakeFiles/rrf_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/rrf_workload.dir/traces.cpp.o"
+  "CMakeFiles/rrf_workload.dir/traces.cpp.o.d"
+  "CMakeFiles/rrf_workload.dir/workload.cpp.o"
+  "CMakeFiles/rrf_workload.dir/workload.cpp.o.d"
+  "librrf_workload.a"
+  "librrf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrf_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balloon.dir/hypervisor/balloon_test.cpp.o"
+  "CMakeFiles/test_balloon.dir/hypervisor/balloon_test.cpp.o.d"
+  "test_balloon"
+  "test_balloon.pdb"
+  "test_balloon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgroup.dir/hypervisor/cgroup_test.cpp.o"
+  "CMakeFiles/test_cgroup.dir/hypervisor/cgroup_test.cpp.o.d"
+  "test_cgroup"
+  "test_cgroup.pdb"
+  "test_cgroup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_credit_scheduler.dir/hypervisor/credit_scheduler_test.cpp.o"
+  "CMakeFiles/test_credit_scheduler.dir/hypervisor/credit_scheduler_test.cpp.o.d"
+  "test_credit_scheduler"
+  "test_credit_scheduler.pdb"
+  "test_credit_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_credit_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

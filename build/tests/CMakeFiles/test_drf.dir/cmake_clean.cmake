@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drf.dir/alloc/drf_test.cpp.o"
+  "CMakeFiles/test_drf.dir/alloc/drf_test.cpp.o.d"
+  "test_drf"
+  "test_drf.pdb"
+  "test_drf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entity_io.dir/alloc/entity_io_test.cpp.o"
+  "CMakeFiles/test_entity_io.dir/alloc/entity_io_test.cpp.o.d"
+  "test_entity_io"
+  "test_entity_io.pdb"
+  "test_entity_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entity_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irt.dir/alloc/irt_test.cpp.o"
+  "CMakeFiles/test_irt.dir/alloc/irt_test.cpp.o.d"
+  "test_irt"
+  "test_irt.pdb"
+  "test_irt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iwa.dir/alloc/iwa_test.cpp.o"
+  "CMakeFiles/test_iwa.dir/alloc/iwa_test.cpp.o.d"
+  "test_iwa"
+  "test_iwa.pdb"
+  "test_iwa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

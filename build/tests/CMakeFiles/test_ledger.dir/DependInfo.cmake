@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/ledger_test.cpp" "tests/CMakeFiles/test_ledger.dir/sim/ledger_test.cpp.o" "gcc" "tests/CMakeFiles/test_ledger.dir/sim/ledger_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rrf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/rrf_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/rrf_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rrf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rrf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rrf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ledger.dir/sim/ledger_test.cpp.o"
+  "CMakeFiles/test_ledger.dir/sim/ledger_test.cpp.o.d"
+  "test_ledger"
+  "test_ledger.pdb"
+  "test_ledger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_migration.dir/sim/live_migration_test.cpp.o"
+  "CMakeFiles/test_live_migration.dir/sim/live_migration_test.cpp.o.d"
+  "test_live_migration"
+  "test_live_migration.pdb"
+  "test_live_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

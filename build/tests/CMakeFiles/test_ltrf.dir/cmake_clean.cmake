@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltrf.dir/sim/ltrf_test.cpp.o"
+  "CMakeFiles/test_ltrf.dir/sim/ltrf_test.cpp.o.d"
+  "test_ltrf"
+  "test_ltrf.pdb"
+  "test_ltrf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

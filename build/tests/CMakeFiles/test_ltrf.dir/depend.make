@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ltrf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mclock.dir/hypervisor/mclock_test.cpp.o"
+  "CMakeFiles/test_mclock.dir/hypervisor/mclock_test.cpp.o.d"
+  "test_mclock"
+  "test_mclock.pdb"
+  "test_mclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

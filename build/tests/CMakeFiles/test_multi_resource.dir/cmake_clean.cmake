@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_resource.dir/alloc/multi_resource_test.cpp.o"
+  "CMakeFiles/test_multi_resource.dir/alloc/multi_resource_test.cpp.o.d"
+  "test_multi_resource"
+  "test_multi_resource.pdb"
+  "test_multi_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multi_resource.
+# This may be replaced when dependencies are built.

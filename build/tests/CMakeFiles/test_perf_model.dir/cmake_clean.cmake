@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_model.dir/workload/perf_model_test.cpp.o"
+  "CMakeFiles/test_perf_model.dir/workload/perf_model_test.cpp.o.d"
+  "test_perf_model"
+  "test_perf_model.pdb"
+  "test_perf_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pricing.dir/common/pricing_test.cpp.o"
+  "CMakeFiles/test_pricing.dir/common/pricing_test.cpp.o.d"
+  "test_pricing"
+  "test_pricing.pdb"
+  "test_pricing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

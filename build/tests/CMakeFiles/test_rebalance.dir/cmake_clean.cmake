@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rebalance.dir/cluster/rebalance_test.cpp.o"
+  "CMakeFiles/test_rebalance.dir/cluster/rebalance_test.cpp.o.d"
+  "test_rebalance"
+  "test_rebalance.pdb"
+  "test_rebalance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

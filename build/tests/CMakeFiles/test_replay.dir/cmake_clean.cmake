@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay.dir/workload/replay_test.cpp.o"
+  "CMakeFiles/test_replay.dir/workload/replay_test.cpp.o.d"
+  "test_replay"
+  "test_replay.pdb"
+  "test_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

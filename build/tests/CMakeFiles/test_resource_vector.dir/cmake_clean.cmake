@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_vector.dir/common/resource_vector_test.cpp.o"
+  "CMakeFiles/test_resource_vector.dir/common/resource_vector_test.cpp.o.d"
+  "test_resource_vector"
+  "test_resource_vector.pdb"
+  "test_resource_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

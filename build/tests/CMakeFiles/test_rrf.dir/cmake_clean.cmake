@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrf.dir/alloc/rrf_test.cpp.o"
+  "CMakeFiles/test_rrf.dir/alloc/rrf_test.cpp.o.d"
+  "test_rrf"
+  "test_rrf.pdb"
+  "test_rrf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

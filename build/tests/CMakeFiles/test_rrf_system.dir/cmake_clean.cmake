@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrf_system.dir/core/rrf_system_test.cpp.o"
+  "CMakeFiles/test_rrf_system.dir/core/rrf_system_test.cpp.o.d"
+  "test_rrf_system"
+  "test_rrf_system.pdb"
+  "test_rrf_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrf_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traces.dir/workload/traces_test.cpp.o"
+  "CMakeFiles/test_traces.dir/workload/traces_test.cpp.o.d"
+  "test_traces"
+  "test_traces.pdb"
+  "test_traces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

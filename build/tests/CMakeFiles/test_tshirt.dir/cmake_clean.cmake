@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tshirt.dir/alloc/tshirt_test.cpp.o"
+  "CMakeFiles/test_tshirt.dir/alloc/tshirt_test.cpp.o.d"
+  "test_tshirt"
+  "test_tshirt.pdb"
+  "test_tshirt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tshirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

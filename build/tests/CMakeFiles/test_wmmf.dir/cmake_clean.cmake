@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wmmf.dir/alloc/wmmf_test.cpp.o"
+  "CMakeFiles/test_wmmf.dir/alloc/wmmf_test.cpp.o.d"
+  "test_wmmf"
+  "test_wmmf.pdb"
+  "test_wmmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wmmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

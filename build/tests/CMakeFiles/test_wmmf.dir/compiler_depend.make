@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wmmf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wmmf.
+# This may be replaced when dependencies are built.

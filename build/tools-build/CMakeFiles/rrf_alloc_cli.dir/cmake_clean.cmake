@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/rrf_alloc_cli"
+  "../tools/rrf_alloc_cli.pdb"
+  "CMakeFiles/rrf_alloc_cli.dir/rrf_alloc_cli.cpp.o"
+  "CMakeFiles/rrf_alloc_cli.dir/rrf_alloc_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_alloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/rrf_sim_cli"
+  "../tools/rrf_sim_cli.pdb"
+  "CMakeFiles/rrf_sim_cli.dir/rrf_sim_cli.cpp.o"
+  "CMakeFiles/rrf_sim_cli.dir/rrf_sim_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
