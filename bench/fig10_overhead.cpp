@@ -16,7 +16,11 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "hypervisor/node.hpp"
+#include "obs/phase.hpp"
+#include "sim/engine.hpp"
 #include "sim/predictor.hpp"
+#include "sim/scenario.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -89,6 +93,41 @@ void print_figure10_table() {
                "window.\n\n";
 }
 
+/// Per-phase timing of a full engine run, from the obs::PhaseScope
+/// instrumentation: where one allocation round actually spends its time
+/// (prediction vs the allocator itself vs actuation vs bookkeeping).
+void print_phase_profile() {
+  sim::ScenarioConfig scenario_config;
+  scenario_config.workloads = wl::paper_workloads();
+  scenario_config.alpha = 1.0;
+  scenario_config.hosts = 1;
+  const sim::Scenario scenario = sim::build_scenario(scenario_config);
+
+  sim::EngineConfig config;
+  config.policy = sim::PolicyKind::kRrf;
+  config.duration = 600.0;
+  config.window = 5.0;
+  const sim::SimResult result = sim::run_simulation(scenario, config);
+
+  const double rounds = std::max<double>(
+      1.0, static_cast<double>(result.alloc_invocations));
+  double total = 0.0;
+  for (const double s : result.phase_seconds) total += s;
+
+  TextTable table("Round phase profile (rrf, 1 host, 600 s @ 5 s windows)");
+  table.header({"phase", "total (ms)", "us/round", "share"});
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const double seconds = result.phase_seconds[i];
+    table.row({to_string(static_cast<obs::Phase>(i)),
+               TextTable::num(seconds * 1e3, 2),
+               TextTable::num(seconds / rounds * 1e6, 1),
+               TextTable::pct(total > 0.0 ? seconds / total : 0.0)});
+  }
+  table.print(std::cout);
+  std::cout << "allocator share of the 5 s window: "
+            << TextTable::pct(result.allocator_load(), 4) << "\n\n";
+}
+
 void BM_RrfAllocationRound(benchmark::State& state) {
   const auto vms = static_cast<std::size_t>(state.range(0));
   NodeFixture fixture(vms, std::max<std::size_t>(1, vms / 3));
@@ -131,6 +170,7 @@ BENCHMARK(BM_ActuationKnobs);
 
 int main(int argc, char** argv) {
   print_figure10_table();
+  print_phase_profile();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,15 +3,27 @@
 # AddressSanitizer+UBSan build + tests.  Run from the repository root.
 set -euo pipefail
 
+for tool in cmake ninja; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "error: '$tool' not found on PATH — install it first" >&2
+    echo "       (Debian/Ubuntu: apt-get install cmake ninja-build)" >&2
+    exit 1
+  fi
+done
+
 echo "== release build =="
 cmake -B build -G Ninja -DRRF_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+echo "== release observability tests =="
+ctest --test-dir build --output-on-failure -R '^Obs'
 
 echo "== asan+ubsan build =="
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DRRF_SANITIZE=address,undefined
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
+echo "== asan+ubsan observability tests =="
+ctest --test-dir build-asan --output-on-failure -R '^Obs'
 
 echo "all checks passed"

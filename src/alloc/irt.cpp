@@ -1,12 +1,15 @@
 #include "alloc/irt.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <vector>
 
 #include "alloc/wmmf.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rrf::alloc {
 
@@ -112,6 +115,12 @@ AllocationResult IrtAllocator::allocate_traced(
   validate_entities(capacity, entities);
   const std::size_t p = capacity.size();
   const std::size_t m = entities.size();
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& invocations =
+        obs::metrics().counter("irt.invocations");
+    invocations.add();
+  }
 
   // Lines 1-8: initial shares, per-type contributions, total Lambda(i).
   const std::vector<double> lambda = total_contributions(entities);
@@ -285,6 +294,29 @@ AllocationResult IrtAllocator::allocate_traced(
       (*traces)[k].contributor_count = u;
       (*traces)[k].capped_count = v;
       (*traces)[k].redistributed = std::max(0.0, psi);
+    }
+
+    if (obs::metrics_enabled()) {
+      static obs::Histogram& redistributed = obs::metrics().histogram(
+          "irt.redistributed_shares", obs::default_magnitude_bounds());
+      redistributed.observe(std::max(0.0, psi));
+    }
+    if (obs::tracing_enabled()) {
+      // One trade event per entity whose grant moved away from its initial
+      // share: negative value = shares contributed, positive = received.
+      obs::EventTracer& tr = obs::tracer();
+      for (std::size_t i = 0; i < m; ++i) {
+        const double delta =
+            result.allocations[i][k] - entities[i].initial_share[k];
+        if (std::abs(delta) <= kEps) continue;
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kIrtTrade;
+        e.tenant = static_cast<std::int32_t>(i);
+        e.resource = static_cast<std::int8_t>(k);
+        e.value = delta;
+        e.value2 = lambda[i];
+        tr.record(e);
+      }
     }
   }
   return result;

@@ -1,9 +1,12 @@
 #include "alloc/iwa.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rrf::alloc {
 
@@ -76,6 +79,12 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
   out.allocations.assign(n, ResourceVector(p));
   out.headroom = ResourceVector(p);
 
+  if (obs::metrics_enabled()) {
+    static obs::Counter& invocations =
+        obs::metrics().counter("iwa.invocations");
+    invocations.add();
+  }
+
   std::vector<double> shares(n), demands(n);
   for (std::size_t k = 0; k < p; ++k) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -90,6 +99,32 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
       out.allocations[j][k] = r.allocations[j];
     }
     out.headroom[k] = r.headroom;
+
+    if (obs::tracing_enabled() || obs::metrics_enabled()) {
+      // One weight-adjustment event per VM whose grant moved away from its
+      // initial share (positive: gained from siblings, negative: ceded).
+      for (std::size_t j = 0; j < n; ++j) {
+        const double delta = r.allocations[j] - shares[j];
+        if (std::abs(delta) <= 1e-9) continue;
+        if (obs::metrics_enabled()) {
+          static obs::Counter& adjustments =
+              obs::metrics().counter("iwa.adjustments");
+          static obs::Histogram& magnitude = obs::metrics().histogram(
+              "iwa.adjustment_shares", obs::default_magnitude_bounds());
+          adjustments.add();
+          magnitude.observe(std::abs(delta));
+        }
+        if (obs::tracing_enabled()) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kIwaAdjust;
+          e.vm = static_cast<std::int32_t>(j);
+          e.resource = static_cast<std::int8_t>(k);
+          e.value = delta;
+          e.value2 = r.allocations[j];
+          obs::tracer().record(e);
+        }
+      }
+    }
   }
   return out;
 }

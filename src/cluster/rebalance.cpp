@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace rrf::cluster {
 
@@ -99,6 +100,24 @@ RebalancePlan plan_rebalance(
   }
 
   plan.pressure_after = pressures(host_capacity, hosts);
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& plans = obs::metrics().counter("rebalance.plans");
+    static obs::Counter& migrations =
+        obs::metrics().counter("rebalance.migrations");
+    static obs::Histogram& migration_gb = obs::metrics().histogram(
+        "rebalance.migration_gb", obs::default_magnitude_bounds());
+    static obs::Histogram& gap = obs::metrics().histogram(
+        "rebalance.pressure_gap", obs::default_magnitude_bounds());
+    plans.add();
+    migrations.add(plan.migrations.size());
+    for (const Migration& m : plan.migrations) {
+      migration_gb.observe(m.cost_gb);
+    }
+    const auto [lo, hi] = std::minmax_element(plan.pressure_before.begin(),
+                                              plan.pressure_before.end());
+    gap.observe(*hi - *lo);
+  }
   return plan;
 }
 

@@ -1,14 +1,21 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace rrf {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::atomic<LogLevel> g_level{log_level_from_env()};
 std::mutex g_mu;
+std::ostream* g_sink = nullptr;  // nullptr = std::cerr
+const auto g_epoch = std::chrono::steady_clock::now();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,16 +27,49 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel log_level_from_env() {
+  const char* env = std::getenv("RRF_LOG_LEVEL");
+  return env ? parse_log_level(env, LogLevel::kWarn) : LogLevel::kWarn;
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard lock(g_mu);
+  g_sink = sink;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_epoch)
+          .count();
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "+%.3fs", seconds);
   std::lock_guard lock(g_mu);
-  std::cerr << "[rrf " << level_name(level) << "] " << message << "\n";
+  std::ostream& os = g_sink ? *g_sink : std::cerr;
+  os << "[rrf " << level_name(level) << " " << stamp << "] " << message
+     << "\n";
 }
 
 }  // namespace rrf

@@ -1,11 +1,18 @@
 // Minimal leveled logger.  Benches and examples default to kInfo; tests set
 // kWarn to keep output clean.  Not a general-purpose logging framework —
 // just enough observability for the simulator.
+//
+// The startup threshold honours the RRF_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, case-insensitive); set_log_level() overrides
+// it at runtime.  Each emitted line is prefixed with the level and a
+// monotonic timestamp relative to process start:
+//   [rrf INFO  +12.345s] message
 #pragma once
 
 #include <iosfwd>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace rrf {
 
@@ -14,6 +21,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a level name ("debug", "INFO", "warn", "error", "off");
+/// returns `fallback` for anything unrecognised (including empty).
+LogLevel parse_log_level(std::string_view name, LogLevel fallback);
+
+/// The threshold RRF_LOG_LEVEL selects at startup (kWarn when unset).
+LogLevel log_level_from_env();
+
+/// Redirects output (nullptr restores stderr).  For tests; not synchronized
+/// with concurrent log_message() calls from other threads.
+void set_log_sink(std::ostream* sink);
 
 /// Emit one line (thread-safe) if `level` passes the threshold.
 void log_message(LogLevel level, const std::string& message);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rrf::hv {
 
@@ -23,15 +25,56 @@ std::size_t BalloonDriver::add_vm(double initial_gb, double max_gb) {
 void BalloonDriver::set_target(std::size_t vm, double target_gb) {
   RRF_REQUIRE(vm < vms_.size(), "unknown VM");
   // Ballooning cannot exceed the boot-time ceiling nor drop below the floor.
-  vms_[vm].target_gb = std::clamp(target_gb, min_gb_, vms_[vm].max_gb);
+  Vm& v = vms_[vm];
+  v.target_gb = std::clamp(target_gb, min_gb_, v.max_gb);
+  if (!v.moving && std::abs(v.target_gb - v.current_gb) > 1e-12) {
+    v.moving = true;
+    v.move_start_gb = v.current_gb;
+    v.move_start_s = sim_time_s_;
+    if (obs::metrics_enabled()) {
+      static obs::Counter& retargets =
+          obs::metrics().counter("balloon.retargets");
+      retargets.add();
+    }
+    if (obs::tracing_enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kBalloonTarget;
+      e.vm = static_cast<std::int32_t>(vm);
+      e.value = v.target_gb;
+      e.value2 = v.current_gb;
+      obs::tracer().record(e);
+    }
+  }
 }
 
 void BalloonDriver::step(Seconds dt) {
   RRF_REQUIRE(dt >= 0.0, "negative time step");
+  sim_time_s_ += dt;
   const double max_move = rate_gb_per_s_ * dt;
-  for (Vm& vm : vms_) {
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    Vm& vm = vms_[i];
     const double delta = vm.target_gb - vm.current_gb;
     vm.current_gb += std::clamp(delta, -max_move, max_move);
+    if (vm.moving && std::abs(vm.target_gb - vm.current_gb) <= 1e-12) {
+      vm.moving = false;
+      const double moved = vm.current_gb - vm.move_start_gb;
+      if (obs::metrics_enabled()) {
+        static obs::Counter& transfers =
+            obs::metrics().counter("balloon.transfers");
+        static obs::Histogram& transfer_gb = obs::metrics().histogram(
+            "balloon.transfer_gb", obs::default_magnitude_bounds());
+        transfers.add();
+        transfer_gb.observe(std::abs(moved));
+      }
+      if (obs::tracing_enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kBalloonTransfer;
+        e.vm = static_cast<std::int32_t>(i);
+        e.value = moved;
+        e.value2 = sim_time_s_ - vm.move_start_s;
+        obs::tracer().record(e);
+      }
+    }
   }
 }
 

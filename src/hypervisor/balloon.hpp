@@ -58,9 +58,16 @@ class BalloonDriver final : public MemoryActuator {
     double current_gb;
     double target_gb;
     double max_gb;  // ballooning ceiling (boot-time max_memory)
+    // In-flight transfer bookkeeping (observability: a balloon_transfer
+    // event spans from the retarget that started movement until the VM
+    // reaches its target, measured in simulated time).
+    bool moving{false};
+    double move_start_gb{0.0};
+    double move_start_s{0.0};
   };
   double rate_gb_per_s_;
   double min_gb_;
+  double sim_time_s_{0.0};  ///< simulated seconds accumulated by step()
   std::vector<Vm> vms_;
 };
 

@@ -5,6 +5,23 @@
 
 #include "alloc/wmmf.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace rrf::hv {
+namespace {
+
+/// Records how much CPU demand the dispatch left unserved this call.
+void record_schedule_metrics(const char* counter_name, double demand_ghz,
+                             double served_ghz) {
+  if (!rrf::obs::metrics_enabled()) return;
+  obs::metrics().counter(counter_name).add();
+  static obs::Histogram& unserved = obs::metrics().histogram(
+      "credit.unserved_ghz", obs::default_magnitude_bounds());
+  unserved.observe(std::max(0.0, demand_ghz - served_ghz));
+}
+
+}  // namespace
+}  // namespace rrf::hv
 
 namespace rrf::hv {
 
@@ -60,19 +77,24 @@ std::vector<double> CreditScheduler::schedule(
     weights[i] = vms_[i].weight;
   }
 
+  std::vector<double> out;
   if (mode_ == SchedulerMode::kNonWorkConserving) {
     // Hard proportional shares: no redistribution of unused cycles.
     const double total_weight =
         std::accumulate(weights.begin(), weights.end(), 0.0);
-    std::vector<double> out(n, 0.0);
+    out.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = std::min(eff[i], capacity_ghz_ * weights[i] / total_weight);
     }
-    return out;
+  } else {
+    // Work-conserving: the fluid limit of credit accounting is weighted
+    // max-min with demand caps.
+    out = alloc::weighted_max_min(capacity_ghz_, eff, weights);
   }
-  // Work-conserving: the fluid limit of credit accounting is weighted
-  // max-min with demand caps.
-  return alloc::weighted_max_min(capacity_ghz_, eff, weights);
+  record_schedule_metrics("credit.schedule_calls",
+                          std::accumulate(eff.begin(), eff.end(), 0.0),
+                          std::accumulate(out.begin(), out.end(), 0.0));
+  return out;
 }
 
 std::vector<double> CreditScheduler::schedule_sliced(
@@ -146,6 +168,10 @@ std::vector<double> CreditScheduler::schedule_sliced(
 
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = got[i] / window_s;
+  record_schedule_metrics(
+      "credit.schedule_sliced_calls",
+      std::accumulate(want.begin(), want.end(), 0.0) / window_s,
+      std::accumulate(out.begin(), out.end(), 0.0));
   return out;
 }
 

@@ -1,0 +1,42 @@
+#include "obs/phase.hpp"
+
+#include <string>
+
+namespace rrf::obs {
+
+Histogram& phase_histogram(MetricsRegistry& registry, Phase phase) {
+  return registry.histogram(
+      "phase." + std::string(to_string(phase)) + ".seconds",
+      default_seconds_bounds());
+}
+
+double PhaseScope::stop() {
+  if (stopped_) return seconds_;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  seconds_ = std::chrono::duration<double>(end - start_).count();
+  if (accumulate_) *accumulate_ += seconds_;
+  if (metrics_enabled()) {
+    // One stable histogram reference per phase; the registry outlives us.
+    static Histogram* const hists[kPhaseCount] = {
+        &phase_histogram(metrics(), Phase::kPredict),
+        &phase_histogram(metrics(), Phase::kAllocate),
+        &phase_histogram(metrics(), Phase::kActuate),
+        &phase_histogram(metrics(), Phase::kSettle),
+    };
+    hists[static_cast<std::size_t>(phase_)]->observe(seconds_);
+  }
+  if (tracing_enabled()) {
+    TraceEvent e;
+    e.kind = EventKind::kPhase;
+    e.phase = static_cast<std::int8_t>(phase_);
+    e.ts_us = tracer().to_us(start_);
+    e.dur_us = seconds_ * 1e6;
+    e.node = node_;
+    e.window = window_;
+    tracer().record(e);
+  }
+  return seconds_;
+}
+
+}  // namespace rrf::obs

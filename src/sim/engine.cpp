@@ -1,7 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +16,9 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 
 namespace rrf::sim {
 
@@ -73,8 +76,13 @@ struct NodeState {
   std::vector<ResourceVector> actual_demand;      // capacity units
   std::vector<ResourceVector> entitlement_shares; // shares
   std::vector<ResourceVector> realized;           // capacity units
-  double alloc_seconds{0.0};
+  /// Wall time per round phase, accumulated by the PhaseScopes.
+  std::array<double, obs::kPhaseCount> phase_seconds{};
   std::size_t alloc_invocations{0};
+
+  double& phase_accum(obs::Phase phase) {
+    return phase_seconds[static_cast<std::size_t>(phase)];
+  }
 };
 
 /// Computes share entitlements for one node and one window.
@@ -320,6 +328,23 @@ SimResult run_simulation(const Scenario& scenario,
         }
         result.migrations += plan.migrations.size();
         result.migrated_gb += plan.total_cost_gb;
+        if (obs::tracing_enabled()) {
+          for (const cluster::Migration& m : plan.migrations) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kMigration;
+            e.node = static_cast<std::int32_t>(m.from);
+            e.tenant = static_cast<std::int32_t>(loads[m.vm_index].tenant);
+            e.vm = static_cast<std::int32_t>(loads[m.vm_index].vm);
+            e.window = static_cast<std::int32_t>(w);
+            e.value = m.cost_gb;
+            e.value2 = static_cast<double>(m.to);
+            obs::tracer().record(e);
+          }
+        }
+        if (obs::metrics_enabled()) {
+          obs::metrics().counter("engine.migrations")
+              .add(plan.migrations.size());
+        }
       }
     }
 
@@ -341,20 +366,38 @@ SimResult run_simulation(const Scenario& scenario,
       NodeState& node = nodes[h];
       const std::size_t n = node.slots.size();
       if (n == 0) return;
+      const auto node_id = static_cast<std::int32_t>(h);
+      const auto window_id = static_cast<std::int32_t>(w);
 
+      if (obs::tracing_enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kAllocRoundBegin;
+        e.node = node_id;
+        e.window = window_id;
+        e.value = static_cast<double>(n);
+        obs::tracer().record(e);
+      }
+
+      // ---- predict: refresh demand forecasts for the round ----
       node.actual_demand.resize(n);
       std::vector<ResourceVector> demand_shares(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        const VmSlot& slot = node.slots[i];
-        node.actual_demand[i] = demands[slot.tenant][slot.vm];
+      {
+        obs::PhaseScope predict_phase(obs::Phase::kPredict, node_id,
+                                      window_id,
+                                      &node.phase_accum(obs::Phase::kPredict));
+        for (std::size_t i = 0; i < n; ++i) {
+          const VmSlot& slot = node.slots[i];
+          node.actual_demand[i] = demands[slot.tenant][slot.vm];
 
-        ResourceVector forecast = node.actual_demand[i];
-        if (config.use_predictor) {
-          forecast = node.slots[i].predictor.observations() == 0
-                         ? cl.tenants()[slot.tenant].vms[slot.vm].provisioned
-                         : node.slots[i].predictor.predict();
+          ResourceVector forecast = node.actual_demand[i];
+          if (config.use_predictor) {
+            forecast =
+                node.slots[i].predictor.observations() == 0
+                    ? cl.tenants()[slot.tenant].vms[slot.vm].provisioned
+                    : node.slots[i].predictor.predict();
+          }
+          demand_shares[i] = pricing.shares_for(forecast);
         }
-        demand_shares[i] = pricing.shares_for(forecast);
       }
 
       // The sharing policy arbitrates the pool the tenants collectively
@@ -363,7 +406,10 @@ SimResult run_simulation(const Scenario& scenario,
       ResourceVector pool(kDefaultResourceCount);
       for (const VmSlot& slot : node.slots) pool += slot.initial_share;
 
-      const auto t0 = std::chrono::steady_clock::now();
+      // ---- allocate: sharing policy + work-conserving surplus pass ----
+      obs::PhaseScope allocate_phase(obs::Phase::kAllocate, node_id,
+                                     window_id,
+                                     &node.phase_accum(obs::Phase::kAllocate));
       node.entitlement_shares = allocate_entitlements(
           config.policy, pool, node.slots, demand_shares, lt_balance);
       if (config.policy != PolicyKind::kTshirt) {
@@ -391,23 +437,31 @@ SimResult run_simulation(const Scenario& scenario,
           }
         }
       }
-      const auto t1 = std::chrono::steady_clock::now();
-      node.alloc_seconds +=
-          std::chrono::duration<double>(t1 - t0).count();
+      allocate_phase.stop();
       ++node.alloc_invocations;
 
-      if (config.use_actuators) {
-        node.hv_node->apply_shares(node.entitlement_shares);
-        node.realized =
-            node.hv_node->step(config.window, node.actual_demand);
-      } else {
-        node.realized.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          node.realized[i] = ResourceVector::elementwise_min(
-              pricing.capacity_for(node.entitlement_shares[i]),
-              node.actual_demand[i]);
+      // ---- actuate: push entitlements into the hypervisor and advance ----
+      {
+        obs::PhaseScope actuate_phase(
+            obs::Phase::kActuate, node_id, window_id,
+            &node.phase_accum(obs::Phase::kActuate));
+        if (config.use_actuators) {
+          node.hv_node->apply_shares(node.entitlement_shares);
+          node.realized =
+              node.hv_node->step(config.window, node.actual_demand);
+        } else {
+          node.realized.resize(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            node.realized[i] = ResourceVector::elementwise_min(
+                pricing.capacity_for(node.entitlement_shares[i]),
+                node.actual_demand[i]);
+          }
         }
       }
+
+      // ---- settle: predictor updates, economic ledger, aggregation ----
+      obs::PhaseScope settle_phase(obs::Phase::kSettle, node_id, window_id,
+                                   &node.phase_accum(obs::Phase::kSettle));
       for (std::size_t i = 0; i < n; ++i) {
         node.slots[i].predictor.observe(node.actual_demand[i]);
         // Demand EMA for the rebalancer.
@@ -462,24 +516,36 @@ SimResult run_simulation(const Scenario& scenario,
       }
 
       // Aggregate into tenant-level accumulators.
-      std::lock_guard lock(aggregate_mu);
-      for (std::size_t i = 0; i < n; ++i) {
-        const VmSlot& slot = node.slots[i];
-        tenant_granted[slot.tenant] += beta_shares[i];
-        const ResourceVector d_shares =
-            pricing.shares_for(node.actual_demand[i]);
-        tenant_demand_shares[slot.tenant] += d_shares;
-        double score = perf.step_score(
-            scenario.workloads[slot.tenant]->metric(),
-            node.actual_demand[i], node.realized[i]);
-        if (node.slots[i].migration_penalty > 0) {
-          score *= config.rebalance.slowdown;
-          --node.slots[i].migration_penalty;
+      {
+        std::lock_guard lock(aggregate_mu);
+        for (std::size_t i = 0; i < n; ++i) {
+          const VmSlot& slot = node.slots[i];
+          tenant_granted[slot.tenant] += beta_shares[i];
+          const ResourceVector d_shares =
+              pricing.shares_for(node.actual_demand[i]);
+          tenant_demand_shares[slot.tenant] += d_shares;
+          double score = perf.step_score(
+              scenario.workloads[slot.tenant]->metric(),
+              node.actual_demand[i], node.realized[i]);
+          if (node.slots[i].migration_penalty > 0) {
+            score *= config.rebalance.slowdown;
+            --node.slots[i].migration_penalty;
+          }
+          const double weight = std::max(1e-9, d_shares.sum());
+          tenant_score_weighted[slot.tenant] += score * weight;
+          tenant_score_weight[slot.tenant] += weight;
+          used_total += node.realized[i] * config.window;
         }
-        const double weight = std::max(1e-9, d_shares.sum());
-        tenant_score_weighted[slot.tenant] += score * weight;
-        tenant_score_weight[slot.tenant] += weight;
-        used_total += node.realized[i] * config.window;
+      }
+      settle_phase.stop();
+
+      if (obs::tracing_enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kAllocRoundEnd;
+        e.node = node_id;
+        e.window = window_id;
+        e.value = static_cast<double>(n);
+        obs::tracer().record(e);
       }
     };
 
@@ -527,8 +593,15 @@ SimResult run_simulation(const Scenario& scenario,
   }
 
   for (const auto& node : nodes) {
-    result.alloc_seconds_total += node.alloc_seconds;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      result.phase_seconds[i] += node.phase_seconds[i];
+    }
     result.alloc_invocations += node.alloc_invocations;
+  }
+  result.alloc_seconds_total = result.phase_total(obs::Phase::kAllocate);
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("engine.windows").add(windows);
+    obs::metrics().counter("engine.alloc_rounds").add(result.alloc_invocations);
   }
   const double horizon =
       static_cast<double>(windows) * config.window;

@@ -8,11 +8,13 @@
 //  * Utilization and time series for the Fig. 4/5 reproductions.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "common/resource_vector.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace rrf::sim {
 
@@ -61,8 +63,16 @@ struct SimResult {
   /// Mean fraction of node capacity actually used, per resource type.
   ResourceVector mean_utilization{0.0, 0.0};
   /// Wall time spent inside the allocation algorithm (overhead metric).
+  /// Equals phase_seconds[obs::Phase::kAllocate].
   double alloc_seconds_total{0.0};
   std::size_t alloc_invocations{0};
+  /// Wall time per round phase (predict/allocate/actuate/settle), summed
+  /// over all nodes and windows — filled by the engine's PhaseScopes.
+  std::array<double, obs::kPhaseCount> phase_seconds{};
+  /// phase_seconds[phase], by enum for readability.
+  double phase_total(obs::Phase phase) const {
+    return phase_seconds[static_cast<std::size_t>(phase)];
+  }
   /// Live migrations executed by the in-run load balancer (0 unless
   /// EngineConfig::rebalance.enabled).
   std::size_t migrations{0};

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <regex>
+#include <sstream>
+#include <vector>
+
 namespace rrf {
 namespace {
 
@@ -21,6 +26,69 @@ TEST(Log, LevelThresholdFilters) {
 TEST(Log, ConcatFormatsMixedTypes) {
   EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
   EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Log, ParseLevelAcceptsNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none", LogLevel::kWarn), LogLevel::kOff);
+}
+
+TEST(Log, ParseLevelFallsBackOnGarbage) {
+  EXPECT_EQ(parse_log_level("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("42", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, EnvDefaultIsWarnWhenUnset) {
+  // The test runner does not set RRF_LOG_LEVEL; the documented default
+  // applies.  (When a developer exports it, this test is vacuous but the
+  // parse tests above still cover the mapping.)
+  if (std::getenv("RRF_LOG_LEVEL") == nullptr) {
+    EXPECT_EQ(log_level_from_env(), LogLevel::kWarn);
+  }
+}
+
+TEST(Log, SinkLineCarriesLevelAndMonotonicTimestamp) {
+  const LogLevel before = log_level();
+  std::ostringstream captured;
+  set_log_sink(&captured);
+  set_log_level(LogLevel::kInfo);
+  log_info("hello ", 42);
+  set_log_level(before);
+  set_log_sink(nullptr);
+
+  // e.g. "[rrf INFO  +0.123s] hello 42\n"
+  const std::regex pattern(
+      R"(^\[rrf INFO  \+[0-9]+\.[0-9]{3}s\] hello 42\n$)");
+  EXPECT_TRUE(std::regex_match(captured.str(), pattern))
+      << "unexpected log line: " << captured.str();
+}
+
+TEST(Log, TimestampsAreMonotonic) {
+  const LogLevel before = log_level();
+  std::ostringstream captured;
+  set_log_sink(&captured);
+  set_log_level(LogLevel::kInfo);
+  log_info("first");
+  log_info("second");
+  set_log_level(before);
+  set_log_sink(nullptr);
+
+  const std::regex stamp(R"(\+([0-9]+\.[0-9]{3})s)");
+  std::smatch m;
+  const std::string text = captured.str();
+  std::vector<double> stamps;
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), stamp);
+       it != std::sregex_iterator(); ++it) {
+    stamps.push_back(std::stod((*it)[1].str()));
+  }
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_LE(stamps[0], stamps[1]);
 }
 
 }  // namespace

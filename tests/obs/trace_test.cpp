@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "obs/phase.hpp"
+
+namespace rrf::obs {
+namespace {
+
+TraceEvent make_event(EventKind kind, std::int32_t window) {
+  TraceEvent e;
+  e.kind = kind;
+  e.node = 1;
+  e.tenant = 2;
+  e.vm = 3;
+  e.window = window;
+  e.resource = 0;
+  e.value = 4.5;
+  e.value2 = -1.25;
+  return e;
+}
+
+TEST(ObsTrace, EventsComeBackOldestFirstWithStampedTimes) {
+  EventTracer tracer_(16);
+  for (int i = 0; i < 5; ++i) {
+    tracer_.record(make_event(EventKind::kIrtTrade, i));
+  }
+  const auto events = tracer_.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].window, static_cast<std::int32_t>(i));
+    EXPECT_GE(events[i].ts_us, 0.0);
+    if (i > 0) {
+      EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+    }
+  }
+}
+
+TEST(ObsTrace, RingWrapsAroundKeepingTheNewest) {
+  EventTracer tracer_(8);
+  for (int i = 0; i < 20; ++i) {
+    tracer_.record(make_event(EventKind::kIwaAdjust, i));
+  }
+  EXPECT_EQ(tracer_.recorded(), 20u);
+  EXPECT_EQ(tracer_.dropped(), 12u);
+  const auto events = tracer_.events();
+  ASSERT_EQ(events.size(), 8u);
+  // The surviving events are the last 8, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].window, static_cast<std::int32_t>(12 + i));
+  }
+}
+
+TEST(ObsTrace, ClearEmptiesTheRing) {
+  EventTracer tracer_(8);
+  tracer_.record(make_event(EventKind::kMigration, 0));
+  tracer_.clear();
+  EXPECT_EQ(tracer_.recorded(), 0u);
+  EXPECT_TRUE(tracer_.events().empty());
+}
+
+TEST(ObsTrace, ConcurrentRecordLosesNothingBelowCapacity) {
+  EventTracer tracer_(100000);
+  constexpr std::size_t kTasks = 16;
+  constexpr std::size_t kPerTask = 2000;
+  global_pool().parallel_for(kTasks, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      tracer_.record(make_event(EventKind::kIrtTrade,
+                                static_cast<std::int32_t>(t)));
+    }
+  });
+  EXPECT_EQ(tracer_.recorded(), kTasks * kPerTask);
+  EXPECT_EQ(tracer_.dropped(), 0u);
+  EXPECT_EQ(tracer_.events().size(), kTasks * kPerTask);
+}
+
+TEST(ObsTrace, JsonlRoundTripsEveryField) {
+  EventTracer tracer_(16);
+  TraceEvent phase_event;
+  phase_event.kind = EventKind::kPhase;
+  phase_event.phase = static_cast<std::int8_t>(Phase::kAllocate);
+  phase_event.dur_us = 123.5;
+  phase_event.node = 7;
+  phase_event.window = 42;
+  tracer_.record(phase_event);
+  tracer_.record(make_event(EventKind::kBalloonTransfer, 9));
+
+  std::stringstream buffer;
+  tracer_.write_jsonl(buffer);
+  const auto parsed = EventTracer::read_jsonl(buffer);
+  ASSERT_EQ(parsed.size(), 2u);
+
+  EXPECT_EQ(parsed[0].kind, EventKind::kPhase);
+  EXPECT_EQ(parsed[0].phase, static_cast<std::int8_t>(Phase::kAllocate));
+  EXPECT_DOUBLE_EQ(parsed[0].dur_us, 123.5);
+  EXPECT_EQ(parsed[0].node, 7);
+  EXPECT_EQ(parsed[0].window, 42);
+
+  EXPECT_EQ(parsed[1].kind, EventKind::kBalloonTransfer);
+  EXPECT_EQ(parsed[1].tenant, 2);
+  EXPECT_EQ(parsed[1].vm, 3);
+  EXPECT_EQ(parsed[1].window, 9);
+  EXPECT_EQ(parsed[1].resource, 0);
+  EXPECT_DOUBLE_EQ(parsed[1].value, 4.5);
+  EXPECT_DOUBLE_EQ(parsed[1].value2, -1.25);
+}
+
+TEST(ObsTrace, ReadJsonlSkipsUnknownLines) {
+  std::stringstream buffer;
+  buffer << "not json\n"
+         << "{\"kind\":\"no_such_event\",\"ts_us\":1}\n"
+         << "{\"kind\":\"irt_trade\",\"ts_us\":5,\"value\":2}\n";
+  const auto parsed = EventTracer::read_jsonl(buffer);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, EventKind::kIrtTrade);
+  EXPECT_DOUBLE_EQ(parsed[0].value, 2.0);
+}
+
+TEST(ObsTrace, ChromeTraceRendersPhasesAsSlicesAndEventsAsInstants) {
+  EventTracer tracer_(16);
+  TraceEvent phase_event;
+  phase_event.kind = EventKind::kPhase;
+  phase_event.phase = static_cast<std::int8_t>(Phase::kPredict);
+  phase_event.dur_us = 10.0;
+  phase_event.node = 3;
+  tracer_.record(phase_event);
+  tracer_.record(make_event(EventKind::kIrtTrade, 1));
+
+  std::ostringstream os;
+  tracer_.write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"predict\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"irt_trade\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":3"), std::string::npos);
+}
+
+TEST(ObsTrace, EventKindNamesRoundTrip) {
+  for (const EventKind kind :
+       {EventKind::kAllocRoundBegin, EventKind::kAllocRoundEnd,
+        EventKind::kIrtTrade, EventKind::kIwaAdjust,
+        EventKind::kBalloonTarget, EventKind::kBalloonTransfer,
+        EventKind::kMigration, EventKind::kPhase}) {
+    const auto parsed = event_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(event_kind_from_string("bogus").has_value());
+}
+
+TEST(ObsTrace, PhaseScopeRecordsDurationEventAndHistogram) {
+  const bool tracing_before = tracing_enabled();
+  const bool metrics_before = metrics_enabled();
+  set_tracing_enabled(true);
+  set_metrics_enabled(true);
+  tracer().clear();
+  const Histogram& hist = phase_histogram(metrics(), Phase::kAllocate);
+  const std::uint64_t count_before = hist.count();
+
+  double accumulated = 0.0;
+  { PhaseScope scope(Phase::kAllocate, /*node=*/2, /*window=*/5, &accumulated); }
+
+  set_tracing_enabled(tracing_before);
+  set_metrics_enabled(metrics_before);
+
+  EXPECT_GT(accumulated, 0.0);
+  EXPECT_EQ(hist.count(), count_before + 1);
+  const auto events = tracer().events();
+  ASSERT_FALSE(events.empty());
+  const TraceEvent& e = events.back();
+  EXPECT_EQ(e.kind, EventKind::kPhase);
+  EXPECT_EQ(e.phase, static_cast<std::int8_t>(Phase::kAllocate));
+  EXPECT_EQ(e.node, 2);
+  EXPECT_EQ(e.window, 5);
+  EXPECT_GE(e.dur_us, 0.0);
+  tracer().clear();
+}
+
+TEST(ObsTrace, TracingSwitchDefaultsOffAndRoundTrips) {
+  const bool before = tracing_enabled();
+  set_tracing_enabled(true);
+  EXPECT_TRUE(tracing_enabled());
+  set_tracing_enabled(false);
+  EXPECT_FALSE(tracing_enabled());
+  set_tracing_enabled(before);
+}
+
+}  // namespace
+}  // namespace rrf::obs

@@ -8,6 +8,7 @@
 // Run with --help for the full flag list.
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -17,6 +18,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/profile.hpp"
 #include "workload/replay.hpp"
 
@@ -40,6 +43,9 @@ struct CliOptions {
   /// CSV demand traces to replay as extra tenants (repeatable flag).
   std::vector<std::string> replays;
   bool sliced = false;
+  /// Observability outputs (empty = the subsystem stays disabled).
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 [[noreturn]] void usage(int code) {
@@ -63,6 +69,12 @@ struct CliOptions {
       "                      (t_seconds,cpu_ghz,ram_gb; repeatable)\n"
       "  --sliced            slice-level credit-scheduler dispatch\n"
       "  --csv <path>        write per-tenant results as CSV\n"
+      "  --trace <path>      record allocation events; writes Chrome trace\n"
+      "                      JSON (open in chrome://tracing), or JSONL if\n"
+      "                      the path ends in .jsonl\n"
+      "  --metrics <path>    write a metrics snapshot (counters + per-phase\n"
+      "                      timing histograms); JSON, or CSV if the path\n"
+      "                      ends in .csv\n"
       "  --help\n";
   std::exit(code);
 }
@@ -101,6 +113,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--replay") options.replays.push_back(next(i));
     else if (arg == "--sliced") options.sliced = true;
     else if (arg == "--csv") options.csv = next(i);
+    else if (arg == "--trace") options.trace_path = next(i);
+    else if (arg == "--metrics") options.metrics_path = next(i);
     else if (arg == "--workloads") {
       options.workloads.clear();
       std::stringstream ss(next(i));
@@ -140,10 +154,53 @@ sim::EngineConfig engine_config(const CliOptions& options) {
   return engine;
 }
 
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+void write_observability_outputs(const CliOptions& options) {
+  if (!options.trace_path.empty()) {
+    std::ofstream out = open_output(options.trace_path);
+    if (ends_with(options.trace_path, ".jsonl")) {
+      obs::tracer().write_jsonl(out);
+    } else {
+      obs::tracer().write_chrome_trace(out);
+    }
+    std::cout << "wrote " << options.trace_path << " ("
+              << obs::tracer().events().size() << " events";
+    if (obs::tracer().dropped() > 0) {
+      std::cout << ", " << obs::tracer().dropped()
+                << " dropped to ring wraparound";
+    }
+    std::cout << ")\n";
+  }
+  if (!options.metrics_path.empty()) {
+    std::ofstream out = open_output(options.metrics_path);
+    if (ends_with(options.metrics_path, ".csv")) {
+      obs::metrics().write_csv(out);
+    } else {
+      obs::metrics().write_json(out);
+    }
+    std::cout << "wrote " << options.metrics_path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions options = parse(argc, argv);
+  obs::set_tracing_enabled(!options.trace_path.empty());
+  obs::set_metrics_enabled(!options.metrics_path.empty());
 
   sim::Scenario scenario = [&] {
     if (options.fill) {
@@ -227,5 +284,6 @@ int main(int argc, char** argv) {
     write_csv(options.csv, csv);
     std::cout << "wrote " << options.csv << "\n";
   }
+  write_observability_outputs(options);
   return 0;
 }
