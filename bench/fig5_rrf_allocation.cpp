@@ -1,8 +1,10 @@
 // Reproduces Figure 5: the ratio of allocated shares to initial shares
 // S'_t(i)/S(i) under RRF, same scenario as Figure 4.  During contention
 // RRF balances the allocations around each tenant's share position; in
-// uncontended periods every workload simply holds its demand.
+// uncontended periods every workload simply holds its demand.  The series
+// come from the engine's TimeSeriesRecorder.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/rrf_system.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -33,9 +36,11 @@ int main() {
   scenario.hosts = 1;
   scenario.seed = 42;
 
+  obs::TimeSeriesRecorder recorder;
   sim::EngineConfig engine;
   engine.duration = 2700.0;
   engine.window = 5.0;
+  engine.recorder = &recorder;
 
   const RrfSystem system(scenario, engine);
   const sim::SimResult result = system.run(sim::PolicyKind::kRrf);
@@ -43,38 +48,27 @@ int main() {
   std::cout << "Figure 5 — S'_t(i)/S(i): allocated vs initial shares under "
                "RRF, 4 workloads on one host, alpha = 1\n\n";
 
-  std::vector<std::vector<std::string>> csv;
-  csv.push_back({"t_seconds"});
-  for (const auto& tenant : result.tenants) {
-    csv[0].push_back(tenant.name());
+  {
+    std::ofstream csv("fig5_rrf_allocation.csv");
+    recorder.write_wide_csv(csv, obs::TimeSeriesRecorder::Field::kAllocRatio);
   }
-  const std::size_t windows =
-      result.tenants.front().alloc_ratio_series().size();
-  for (std::size_t w = 0; w < windows; ++w) {
-    std::vector<std::string> row{
-        TextTable::num(5.0 * static_cast<double>(w), 0)};
-    for (const auto& tenant : result.tenants) {
-      row.push_back(TextTable::num(tenant.alloc_ratio_series()[w], 4));
-    }
-    csv.push_back(std::move(row));
-  }
-  write_csv("fig5_rrf_allocation.csv", csv);
 
   TextTable table("per-workload allocation-ratio summary (RRF)");
   table.header({"Workload", "mean S'/S", "min", "max", "stddev", "beta"});
-  for (const auto& tenant : result.tenants) {
-    const auto& series = tenant.alloc_ratio_series();
+  for (std::size_t t = 0; t < recorder.tenant_names().size(); ++t) {
+    const std::vector<double> series =
+        recorder.series(t, obs::TimeSeriesRecorder::Field::kAllocRatio);
     std::vector<double> per_minute;
     for (std::size_t w = 0; w < series.size(); w += 12) {
       per_minute.push_back(series[w]);
     }
     const double mn = *std::min_element(series.begin(), series.end());
     const double mx = *std::max_element(series.begin(), series.end());
-    table.row({tenant.name(), TextTable::num(mean(series), 3),
+    table.row({recorder.tenant_names()[t], TextTable::num(mean(series), 3),
                TextTable::num(mn, 3), TextTable::num(mx, 3),
                TextTable::num(stddev(series), 3),
-               TextTable::num(tenant.beta(), 3)});
-    std::cout << tenant.name() << "\n  [0.5 .. 1.5] "
+               TextTable::num(result.tenants[t].beta(), 3)});
+    std::cout << recorder.tenant_names()[t] << "\n  [0.5 .. 1.5] "
               << sparkline(per_minute, 0.5, 1.5) << "\n";
   }
   std::cout << "\n";

@@ -59,12 +59,24 @@ int main() {
     // min/max ratio ~ "95% economic fairness" for RRF.
     std::vector<std::string> row{"min/max across workloads"};
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      double lo = 1e9, hi = -1e9;
-      for (double b : comparison.beta[p]) {
-        lo = std::min(lo, b);
-        hi = std::max(hi, b);
+      const auto& betas = comparison.beta[p];
+      if (betas.empty()) {
+        row.push_back("n/a");
+        continue;
       }
-      row.push_back(TextTable::pct(lo / hi));
+      const auto [lo, hi] = std::minmax_element(betas.begin(), betas.end());
+      row.push_back(*hi > 0.0 ? TextTable::pct(*lo / *hi) : "n/a");
+    }
+    table.row(std::move(row));
+  }
+  {
+    // Jain's index over the per-tenant betas — the same statistic the
+    // live fairness auditor exports as rrf_fairness_jain_index.
+    std::vector<std::string> row{"Jain index (all tenants)"};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& betas = comparison.beta[p];
+      row.push_back(betas.empty() ? "n/a"
+                                  : TextTable::num(jain_index(betas), 3));
     }
     table.row(std::move(row));
   }

@@ -50,6 +50,11 @@ struct AllocationResult {
   /// demand < capacity, or under RRF when surplus is undistributable
   /// because every unsatisfied tenant contributed nothing.
   ResourceVector unallocated;
+  /// Per-entity declared contribution Lambda(i) (IRT's gain-as-you-
+  /// contribute accounting, banked credit included).  Empty for policies
+  /// without trading; the fairness auditor consumes it to check the
+  /// reciprocity balance.
+  std::vector<double> contribution_lambda;
 
   /// Sum of all entitlements per resource type.
   ResourceVector total() const;

@@ -128,6 +128,7 @@ AllocationResult IrtAllocator::allocate_traced(
   AllocationResult result;
   result.allocations.assign(m, ResourceVector(p));
   result.unallocated = ResourceVector(p);
+  result.contribution_lambda = lambda;
   if (traces) traces->assign(p, IrtTypeTrace{});
 
   // Trade budgets for the strategy-proof variant: a tenant's cumulative

@@ -24,6 +24,14 @@ double geometric_mean(std::span<const double> xs) {
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
+double geometric_mean_or(std::span<const double> xs, double fallback) {
+  if (xs.empty()) return fallback;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+  }
+  return geometric_mean(xs);
+}
+
 double stddev(std::span<const double> xs) {
   if (xs.size() < 2) return 0.0;
   const double m = mean(xs);

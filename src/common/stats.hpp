@@ -16,6 +16,11 @@ double mean(std::span<const double> xs);
 /// fairness and performance aggregates as geometric means.
 double geometric_mean(std::span<const double> xs);
 
+/// geometric_mean with defined edge cases instead of assertions: an empty
+/// input returns `fallback`; any non-positive value collapses the mean
+/// to 0 (the limit of the geometric mean as a factor goes to zero).
+double geometric_mean_or(std::span<const double> xs, double fallback);
+
 /// Sample standard deviation (n - 1 denominator); 0 for n < 2.
 double stddev(std::span<const double> xs);
 

@@ -43,8 +43,8 @@ PolicyComparison compare_policies(
       betas.push_back(t.beta());
       perfs.push_back(t.mean_perf());
     }
-    out.beta_geomean.push_back(geometric_mean(betas));
-    out.perf_geomean.push_back(geometric_mean(perfs));
+    out.beta_geomean.push_back(geometric_mean_or(betas, 1.0));
+    out.perf_geomean.push_back(geometric_mean_or(perfs, 1.0));
     out.beta.push_back(std::move(betas));
     out.perf.push_back(std::move(perfs));
   }

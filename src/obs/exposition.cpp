@@ -1,0 +1,306 @@
+#include "obs/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace rrf::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+std::string mangle_base(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 4);
+  if (raw.rfind("rrf_", 0) != 0 && raw.rfind("rrf.", 0) != 0) out = "rrf_";
+  for (const char c : raw) {
+    out += valid_name_char(c) ? c : '_';
+  }
+  return out;
+}
+
+void write_label_value(std::ostream& os, const std::string& v) {
+  os << '"';
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_labels(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const char* extra_key = nullptr, const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << '=';
+    write_label_value(os, v);
+  }
+  if (extra_key != nullptr) {
+    if (!first) os << ',';
+    os << extra_key << '=';
+    write_label_value(os, extra_value);
+  }
+  os << '}';
+}
+
+/// Emits the `# TYPE` header once per metric family (families arrive
+/// contiguously because the registry map is name-ordered).
+void maybe_type_line(std::ostream& os, std::string& last_base,
+                     const std::string& base, const char* type) {
+  if (base == last_base) return;
+  os << "# TYPE " << base << ' ' << type << '\n';
+  last_base = base;
+}
+
+std::string format_le(double bound) {
+  std::ostringstream ss;
+  ss << bound;
+  return ss.str();
+}
+
+}  // namespace
+
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(name);
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += '}';
+  return out;
+}
+
+PrometheusName prometheus_name(const std::string& registry_name) {
+  PrometheusName out;
+  const std::size_t brace = registry_name.find('{');
+  out.base = mangle_base(std::string_view(registry_name).substr(0, brace));
+  if (brace == std::string::npos) return out;
+  std::string_view rest = std::string_view(registry_name).substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      std::string key = mangle_base(pair.substr(0, eq));
+      // Label keys need no "rrf_" prefix — undo the base mangling's one.
+      if (key.rfind("rrf_", 0) == 0) key.erase(0, 4);
+      out.labels.emplace_back(std::move(key), std::string(pair.substr(eq + 1)));
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    const PrometheusName pn = prometheus_name(name);
+    maybe_type_line(os, last_base, pn.base, "counter");
+    os << pn.base;
+    write_labels(os, pn.labels);
+    os << ' ' << value << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    const PrometheusName pn = prometheus_name(name);
+    maybe_type_line(os, last_base, pn.base, "gauge");
+    os << pn.base;
+    write_labels(os, pn.labels);
+    os << ' ' << value << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, h] : snapshot.histograms) {
+    const PrometheusName pn = prometheus_name(name);
+    maybe_type_line(os, last_base, pn.base, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << pn.base << "_bucket";
+      write_labels(os, pn.labels, "le",
+                   i < h.bounds.size() ? format_le(h.bounds[i]) : "+Inf");
+      os << ' ' << cumulative << '\n';
+    }
+    os << pn.base << "_sum";
+    write_labels(os, pn.labels);
+    os << ' ' << h.sum << '\n';
+    os << pn.base << "_count";
+    write_labels(os, pn.labels);
+    os << ' ' << h.count << '\n';
+  }
+}
+
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  write_prometheus(os, registry.snapshot());
+}
+
+ExpositionServer::ExpositionServer(Config config,
+                                   const MetricsRegistry* registry)
+    : config_(std::move(config)),
+      registry_(registry != nullptr ? registry : &metrics()) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::start() {
+  if (running()) return;
+  stop_requested_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  RRF_REQUIRE(listen_fd_ >= 0, "exposition: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw DomainError("exposition: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw DomainError("exposition: cannot bind " + config_.bind_address + ":" +
+                      std::to_string(config_.port) + " (" +
+                      std::strerror(err) + ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw DomainError("exposition: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  log_info("exposition: serving metrics on http://", config_.bind_address,
+           ":", port_, "/metrics");
+}
+
+void ExpositionServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  // The serve loop polls with a short timeout, so closing the listener here
+  // races benignly with an accept(); shutdown() unblocks any straggler.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::string ExpositionServer::respond(const std::string& method,
+                                      const std::string& target) const {
+  int status = 200;
+  const char* status_text = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = 405;
+    status_text = "Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (target == "/metrics" || target.rfind("/metrics?", 0) == 0) {
+    std::ostringstream ss;
+    write_prometheus(ss, *registry_);
+    body = ss.str();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (target == "/metrics.json") {
+    std::ostringstream ss;
+    registry_->write_json(ss);
+    body = ss.str();
+    content_type = "application/json";
+  } else if (target == "/healthz" || target == "/") {
+    body = "ok\n";
+  } else {
+    status = 404;
+    status_text = "Not Found";
+    body = "not found\n";
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << status_text << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void ExpositionServer::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) break;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // One small read is enough for the request line of a scrape; anything
+    // malformed simply gets a 405/404.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string method, target;
+    if (n > 0) {
+      buf[n] = '\0';
+      std::istringstream request(buf);
+      request >> method >> target;
+    }
+    const std::string response = respond(method, target);
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t sent =
+          ::send(client, response.data() + off, response.size() - off, 0);
+      if (sent <= 0) break;
+      off += static_cast<std::size_t>(sent);
+    }
+    ::close(client);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rrf::obs

@@ -1,0 +1,106 @@
+// Live telemetry exposition (observability subsystem).
+//
+// Two pieces:
+//  * write_prometheus() — renders a MetricsRegistry in the Prometheus text
+//    exposition format (version 0.0.4).  Registry names are mangled into
+//    valid Prometheus identifiers ("phase.allocate.seconds" →
+//    "rrf_phase_allocate_seconds"); a registry name may carry labels in a
+//    trailing `{key=value,...}` suffix, which the exporter re-emits as
+//    proper quoted Prometheus labels.  Histograms are exported with
+//    cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+//  * ExpositionServer — a minimal embedded HTTP/1.1 server (POSIX sockets,
+//    one background thread) that serves the live registry:
+//      GET /metrics       Prometheus text format
+//      GET /metrics.json  the registry's JSON document
+//      GET /healthz       "ok"
+//    Binding port 0 picks an ephemeral port (port() reports the real one).
+//    stop() shuts the listener down gracefully and joins the thread; the
+//    destructor does the same.  Scrapes are safe while a simulation is
+//    mutating instruments concurrently: the server reads through the
+//    registry's shared-lock snapshot path only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rrf::obs {
+
+/// Builds a registry key carrying exposition labels, e.g.
+/// labeled("fairness.tenant_beta", {{"tenant", "tpcc-1"}})
+///   == "fairness.tenant_beta{tenant=tpcc-1}".
+/// Keys built this way sort next to their unlabeled siblings, so one
+/// metric family stays contiguous in the registry's ordered map.
+std::string labeled(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// A registry name split into its Prometheus form: mangled base name
+/// (prefixed "rrf_", dots → underscores) plus parsed labels.
+struct PrometheusName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+PrometheusName prometheus_name(const std::string& registry_name);
+
+/// Renders `snapshot` / `registry` in Prometheus text format.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+void write_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+class ExpositionServer {
+ public:
+  struct Config {
+    /// TCP port to listen on; 0 picks an ephemeral port.
+    std::uint16_t port = 0;
+    /// Loopback by default: exposition is an operator endpoint, not a
+    /// public one.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// `registry` defaults to the process-global metrics() registry.
+  explicit ExpositionServer(Config config,
+                            const MetricsRegistry* registry = nullptr);
+  ExpositionServer() : ExpositionServer(Config{}) {}
+  ~ExpositionServer();
+
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Binds, listens and spawns the serving thread.  Throws DomainError if
+  /// the socket cannot be bound.  Idempotent while running.
+  void start();
+  /// Graceful shutdown: stops accepting, closes the listener and joins the
+  /// serving thread.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the real ephemeral port).
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  /// Full HTTP response (headers + body) for one request target.
+  std::string respond(const std::string& method,
+                      const std::string& target) const;
+
+  Config config_;
+  const MetricsRegistry* registry_;
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace rrf::obs

@@ -176,6 +176,29 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::shared_lock lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = h->count();
+    data.sum = h->sum();
+    data.bounds = h->bounds();
+    data.buckets = h->bucket_counts();
+    out.histograms.emplace_back(name, std::move(data));
+  }
+  return out;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   std::shared_lock lock(mu_);
   os << "{\n  \"counters\": {";

@@ -91,6 +91,21 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Point-in-time copy of every instrument, for exporters that need to
+/// iterate the registry without holding its lock (Prometheus exposition,
+/// snapshot files).  Instruments keep registration order (sorted by name).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count{0};
+    double sum{0.0};
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = overflow
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -110,6 +125,9 @@ class MetricsRegistry {
 
   /// Zeroes every instrument (instruments stay registered).
   void reset();
+
+  /// Consistent point-in-time copy of every instrument.
+  MetricsSnapshot snapshot() const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   void write_json(std::ostream& os) const;

@@ -1,0 +1,70 @@
+// Per-round per-tenant time-series recording (observability subsystem).
+//
+// TimeSeriesRecorder collects one row per (window, tenant) as the engine
+// settles each allocation round: the demanded-vs-initial and
+// allocated-vs-initial share ratios (the paper's Fig. 4/5 series) plus the
+// application's perf-model score.  Consumers pick their shape:
+//  * write_csv()      — long form, one row per sample, friendly to pandas;
+//  * write_jsonl()    — one self-describing JSON object per sample;
+//  * write_wide_csv() — the Fig. 4/5 plot shape: `t_seconds` followed by
+//    one column per tenant, for a chosen Field.
+// series() re-slices the samples into one tenant's per-window vector so
+// the fig benches can keep computing sparklines/summaries without ad-hoc
+// accumulation of their own.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrf::obs {
+
+class TimeSeriesRecorder {
+ public:
+  struct Row {
+    std::size_t window{0};
+    double time_s{0.0};
+    std::size_t tenant{0};
+    double demand_ratio{0.0};  ///< D_t(i)/S(i)
+    double alloc_ratio{0.0};   ///< S'_t(i)/S(i)
+    double perf_score{0.0};    ///< normalized app performance, 1 == satisfied
+  };
+
+  enum class Field : std::uint8_t { kDemandRatio, kAllocRatio, kPerfScore };
+
+  /// Must be called before record(); rows reference tenants by index.
+  void set_tenants(std::vector<std::string> names);
+
+  void record(std::size_t window, double time_s, std::size_t tenant,
+              double demand_ratio, double alloc_ratio, double perf_score);
+
+  const std::vector<std::string>& tenant_names() const { return names_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t windows() const { return windows_; }
+  bool empty() const { return rows_.empty(); }
+
+  /// One tenant's per-window values of `field`, in window order.
+  std::vector<double> series(std::size_t tenant, Field field) const;
+  /// Mean of `field` over all windows for one tenant (0 with no samples).
+  double mean(std::size_t tenant, Field field) const;
+
+  /// Long form: window,t_seconds,tenant,demand_ratio,alloc_ratio,perf_score.
+  void write_csv(std::ostream& os) const;
+  /// One JSON object per sample.
+  void write_jsonl(std::ostream& os) const;
+  /// Fig. 4/5 shape: t_seconds plus one column of `field` per tenant.
+  /// Requires every window to carry a sample for every tenant.
+  void write_wide_csv(std::ostream& os, Field field) const;
+
+  void clear();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+  std::size_t windows_{0};
+};
+
+const char* to_string(TimeSeriesRecorder::Field field);
+
+}  // namespace rrf::obs

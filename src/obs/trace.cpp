@@ -20,6 +20,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kBalloonTransfer: return "balloon_transfer";
     case EventKind::kMigration: return "migration";
     case EventKind::kPhase: return "phase";
+    case EventKind::kAlert: return "alert";
   }
   return "unknown";
 }
@@ -29,7 +30,7 @@ std::optional<EventKind> event_kind_from_string(std::string_view name) {
        {EventKind::kAllocRoundBegin, EventKind::kAllocRoundEnd,
         EventKind::kIrtTrade, EventKind::kIwaAdjust, EventKind::kBalloonTarget,
         EventKind::kBalloonTransfer, EventKind::kMigration,
-        EventKind::kPhase}) {
+        EventKind::kPhase, EventKind::kAlert}) {
     if (name == to_string(kind)) return kind;
   }
   return std::nullopt;

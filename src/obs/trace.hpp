@@ -42,6 +42,9 @@ enum class EventKind : std::uint8_t {
   kMigration,        ///< live migration (node = from, value2 = to,
                      ///  value = GB copied)
   kPhase,            ///< one timed phase (dur_us; phase field says which)
+  kAlert,            ///< fairness SLO alert raised by the auditor
+                     ///  (resource = AlertKind, value = measured,
+                     ///  value2 = threshold, tenant = -1 for cluster-wide)
 };
 
 /// Stable wire name ("irt_trade", "iwa_adjust", ...).

@@ -87,12 +87,16 @@ struct NodeState {
 
 /// Computes share entitlements for one node and one window.
 /// `tenant_banked` (indexed by tenant id) carries the rrf-lt contribution
-/// bank; empty for every other policy.
+/// bank; empty for every other policy.  When `tenant_lambda` is non-null
+/// (indexed by global tenant id) the IRT policies add each tenant's
+/// declared contribution Lambda(i) on this node into it, for the fairness
+/// auditor's reciprocity accounting.
 std::vector<ResourceVector> allocate_entitlements(
     PolicyKind policy, const ResourceVector& pool_shares,
     const std::vector<VmSlot>& slots,
     const std::vector<ResourceVector>& demand_shares,
-    std::span<const double> tenant_banked) {
+    std::span<const double> tenant_banked,
+    std::vector<double>* tenant_lambda = nullptr) {
   const std::size_t n = slots.size();
 
   // Flat policies view every VM as one entity.
@@ -186,6 +190,19 @@ std::vector<ResourceVector> allocate_entitlements(
       }
       const alloc::HierarchicalResult hr =
           rrf.allocate_hierarchical(pool_shares, group_list);
+      if (tenant_lambda != nullptr) {
+        // groups iterates in ascending tenant id — the same order
+        // group_list (and hence IRT's entity indices) was built in.
+        std::size_t g = 0;
+        for (const auto& [tenant, group] : groups) {
+          (void)group;
+          if (tenant < tenant_lambda->size() &&
+              g < hr.tenant_level.contribution_lambda.size()) {
+            (*tenant_lambda)[tenant] += hr.tenant_level.contribution_lambda[g];
+          }
+          ++g;
+        }
+      }
       return ungroup(groups, hr.vm_allocations);
     }
   }
@@ -259,18 +276,47 @@ SimResult run_simulation(const Scenario& scenario,
       tenant_count, ResourceVector(kDefaultResourceCount));
   std::vector<double> tenant_score_weighted(tenant_count, 0.0);
   std::vector<double> tenant_score_weight(tenant_count, 0.0);
+  // Tenant-funded ledger flows this window (shares a tenant's surplus
+  // actually handed to / took from other tenants) plus IRT's declared
+  // contribution Lambda — the fairness auditor's reciprocity inputs.
+  std::vector<double> tenant_contributed(tenant_count, 0.0);
+  std::vector<double> tenant_gained(tenant_count, 0.0);
+  std::vector<double> tenant_lambda(tenant_count, 0.0);
+  std::vector<double> node_pressure(host_count, 0.0);
   std::mutex aggregate_mu;
+
+  std::vector<double> tenant_share_sum(tenant_count, 0.0);
+  for (std::size_t t = 0; t < tenant_count; ++t) {
+    tenant_share_sum[t] = cl.tenant_shares(t).sum();
+  }
 
   // rrf-lt: per-tenant contribution bank (EMA of per-window net giving).
   std::vector<double> lt_balance;
-  std::vector<double> tenant_share_sum(tenant_count, 0.0);
   if (config.policy == PolicyKind::kRrfLt) {
     RRF_REQUIRE(config.ltrf_alpha > 0.0 && config.ltrf_alpha <= 1.0,
                 "ltrf_alpha must be in (0, 1]");
     lt_balance.assign(tenant_count, 0.0);
+  }
+
+  // ---- continuous fairness auditing (SLO watchdog) ----
+  std::unique_ptr<obs::FairnessAuditor> auditor;
+  if (config.audit.enabled && obs::metrics_enabled()) {
+    std::vector<std::string> names;
+    names.reserve(tenant_count);
     for (std::size_t t = 0; t < tenant_count; ++t) {
-      tenant_share_sum[t] = cl.tenant_shares(t).sum();
+      names.push_back(cl.tenants()[t].name);
     }
+    auditor = std::make_unique<obs::FairnessAuditor>(config.audit, names,
+                                                     tenant_share_sum);
+  }
+  if (config.recorder != nullptr) {
+    config.recorder->clear();
+    std::vector<std::string> names;
+    names.reserve(tenant_count);
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      names.push_back(cl.tenants()[t].name);
+    }
+    config.recorder->set_tenants(std::move(names));
   }
 
   for (std::size_t w = 0; w < windows; ++w) {
@@ -361,6 +407,10 @@ SimResult run_simulation(const Scenario& scenario,
     std::fill(tenant_score_weighted.begin(), tenant_score_weighted.end(),
               0.0);
     std::fill(tenant_score_weight.begin(), tenant_score_weight.end(), 0.0);
+    std::fill(tenant_contributed.begin(), tenant_contributed.end(), 0.0);
+    std::fill(tenant_gained.begin(), tenant_gained.end(), 0.0);
+    std::fill(tenant_lambda.begin(), tenant_lambda.end(), 0.0);
+    std::fill(node_pressure.begin(), node_pressure.end(), 0.0);
 
     auto process_node = [&](std::size_t h) {
       NodeState& node = nodes[h];
@@ -410,8 +460,10 @@ SimResult run_simulation(const Scenario& scenario,
       obs::PhaseScope allocate_phase(obs::Phase::kAllocate, node_id,
                                      window_id,
                                      &node.phase_accum(obs::Phase::kAllocate));
+      std::vector<double> node_lambda(tenant_count, 0.0);
       node.entitlement_shares = allocate_entitlements(
-          config.policy, pool, node.slots, demand_shares, lt_balance);
+          config.policy, pool, node.slots, demand_shares, lt_balance,
+          &node_lambda);
       if (config.policy != PolicyKind::kTshirt) {
         // Work-conserving surplus pass: physical capacity *nobody paid
         // for* flows to VMs with residual demand in proportion to their
@@ -482,6 +534,11 @@ SimResult run_simulation(const Scenario& scenario,
       // by unsold platform head-room are not financed by any tenant.
       std::vector<ResourceVector> beta_shares(
           n, ResourceVector(kDefaultResourceCount));
+      // Realized reciprocity flows per slot, for the fairness auditor:
+      // shares of this VM's surplus other tenants consumed, and shares it
+      // took financed by other tenants' surplus.
+      std::vector<double> slot_contributed(n, 0.0);
+      std::vector<double> slot_gained(n, 0.0);
       {
         const ResourceVector capacity_shares =
             pricing.shares_for(cl.hosts()[h].capacity);
@@ -509,18 +566,38 @@ SimResult run_simulation(const Scenario& scenario,
           for (std::size_t i = 0; i < n; ++i) {
             const double a = node.entitlement_shares[i][k];
             const double s = node.slots[i].initial_share[k];
-            beta_shares[i][k] = s - theta * std::max(0.0, s - a) +
-                                phi * std::max(0.0, a - s);
+            const double loss = theta * std::max(0.0, s - a);
+            const double gain = phi * std::max(0.0, a - s);
+            beta_shares[i][k] = s - loss + gain;
+            slot_contributed[i] += loss;
+            slot_gained[i] += gain;
           }
         }
+      }
+
+      // Dominant-share pressure of this node's aggregate demand, for the
+      // auditor's per-node scope (written without the lock: one writer
+      // per host).
+      {
+        ResourceVector demand_total(kDefaultResourceCount);
+        for (std::size_t i = 0; i < n; ++i) {
+          demand_total += node.actual_demand[i];
+        }
+        node_pressure[h] =
+            cluster::host_pressure(cl.hosts()[h].capacity, demand_total);
       }
 
       // Aggregate into tenant-level accumulators.
       {
         std::lock_guard lock(aggregate_mu);
+        for (std::size_t t = 0; t < tenant_count; ++t) {
+          tenant_lambda[t] += node_lambda[t];
+        }
         for (std::size_t i = 0; i < n; ++i) {
           const VmSlot& slot = node.slots[i];
           tenant_granted[slot.tenant] += beta_shares[i];
+          tenant_contributed[slot.tenant] += slot_contributed[i];
+          tenant_gained[slot.tenant] += slot_gained[i];
           const ResourceVector d_shares =
               pricing.shares_for(node.actual_demand[i]);
           tenant_demand_shares[slot.tenant] += d_shares;
@@ -573,6 +650,37 @@ SimResult run_simulation(const Scenario& scenario,
       }
     }
 
+    if (auditor) {
+      std::vector<double> position(tenant_count, 0.0);
+      std::vector<double> demand(tenant_count, 0.0);
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        position[t] = tenant_granted[t].sum();
+        demand[t] = tenant_demand_shares[t].sum();
+      }
+      obs::AuditRound round;
+      round.window = w;
+      round.position = position;
+      round.demand = demand;
+      round.contributed = tenant_contributed;
+      round.gained = tenant_gained;
+      round.contribution_lambda = tenant_lambda;
+      round.node_pressure = node_pressure;
+      auditor->observe_round(round);
+    }
+
+    if (config.recorder != nullptr) {
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        const double initial = tenant_share_sum[t];
+        const double score =
+            tenant_score_weight[t] > 0.0
+                ? tenant_score_weighted[t] / tenant_score_weight[t]
+                : 1.0;
+        config.recorder->record(
+            w, now, t, tenant_demand_shares[t].sum() / initial,
+            tenant_granted[t].sum() / initial, score);
+      }
+    }
+
     if (config.observer) {
       WindowSnapshot snapshot;
       snapshot.window = w;
@@ -599,6 +707,7 @@ SimResult run_simulation(const Scenario& scenario,
     result.alloc_invocations += node.alloc_invocations;
   }
   result.alloc_seconds_total = result.phase_total(obs::Phase::kAllocate);
+  if (auditor) result.alerts = auditor->alerts();
   if (obs::metrics_enabled()) {
     obs::metrics().counter("engine.windows").add(windows);
     obs::metrics().counter("engine.alloc_rounds").add(result.alloc_invocations);

@@ -14,6 +14,8 @@
 
 #include "cluster/rebalance.hpp"
 #include "hypervisor/node.hpp"
+#include "obs/audit.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/metrics.hpp"
 #include "sim/predictor.hpp"
 #include "sim/scenario.hpp"
@@ -92,6 +94,15 @@ struct EngineConfig {
   /// Run nodes in parallel on the global thread pool.
   bool parallel_nodes = true;
   RebalanceConfig rebalance;
+  /// Continuous fairness auditing (SLO watchdog).  The auditor runs while
+  /// metric collection is on (obs::metrics_enabled()) and audit.enabled is
+  /// true; it publishes per-round fairness gauges and raises structured
+  /// alerts into SimResult::alerts, the registry, the tracer and the log.
+  obs::AuditConfig audit;
+  /// Optional per-round per-tenant time-series sink (the Fig. 4/5 demand
+  /// and allocation ratio series plus perf scores).  Not owned; must
+  /// outlive the run.  Recorded regardless of the metrics switch.
+  obs::TimeSeriesRecorder* recorder = nullptr;
   /// Optional per-window callback (custom metrics, live dashboards,
   /// convergence studies).  Called on the simulation thread after every
   /// window; must not throw.

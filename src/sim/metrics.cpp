@@ -22,12 +22,12 @@ void TenantMetrics::record_window(const ResourceVector& granted_shares,
 }
 
 double TenantMetrics::beta() const {
-  RRF_REQUIRE(windows_ > 0, "no windows recorded");
+  if (windows_ == 0) return 1.0;
   return granted_total_ / (static_cast<double>(windows_) * initial_total_);
 }
 
 double TenantMetrics::mean_perf() const {
-  RRF_REQUIRE(windows_ > 0, "no windows recorded");
+  if (windows_ == 0) return 1.0;
   return perf_total_ / static_cast<double>(windows_);
 }
 
@@ -35,14 +35,14 @@ double SimResult::fairness_geomean() const {
   std::vector<double> betas;
   betas.reserve(tenants.size());
   for (const auto& t : tenants) betas.push_back(t.beta());
-  return geometric_mean(betas);
+  return geometric_mean_or(betas, 1.0);
 }
 
 double SimResult::perf_geomean() const {
   std::vector<double> perfs;
   perfs.reserve(tenants.size());
   for (const auto& t : tenants) perfs.push_back(t.mean_perf());
-  return geometric_mean(perfs);
+  return geometric_mean_or(perfs, 1.0);
 }
 
 double SimResult::allocator_load() const {

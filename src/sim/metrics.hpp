@@ -14,6 +14,7 @@
 
 #include "common/resource_vector.hpp"
 #include "common/types.hpp"
+#include "obs/audit.hpp"
 #include "obs/trace.hpp"
 
 namespace rrf::sim {
@@ -31,10 +32,12 @@ class TenantMetrics {
   const std::string& name() const { return name_; }
   std::size_t windows() const { return windows_; }
 
-  /// Economic fairness degree beta(i).
+  /// Economic fairness degree beta(i); 1.0 before any window is recorded
+  /// (a tenant that never ran was never treated unfairly).
   double beta() const;
 
-  /// Mean perf score (normalized performance; 1 == fully satisfied).
+  /// Mean perf score (normalized performance; 1 == fully satisfied); 1.0
+  /// before any window is recorded.
   double mean_perf() const;
 
   /// Time series for Figs. 4/5: D_t(i)/S(i) and S'_t(i)/S(i).
@@ -78,10 +81,15 @@ struct SimResult {
   std::size_t migrations{0};
   double migrated_gb{0.0};
   Seconds window{0.0};
+  /// Fairness SLO alerts the auditor raised during the run (empty unless
+  /// metrics collection and EngineConfig::audit were both enabled).
+  std::vector<obs::Alert> alerts;
 
   /// Geometric mean of per-tenant betas (the paper's "95% fairness").
+  /// Defined for degenerate runs: 1.0 with no tenants, 0.0 if any beta
+  /// collapsed to zero.
   double fairness_geomean() const;
-  /// Geometric mean of per-tenant normalized performance.
+  /// Geometric mean of per-tenant normalized performance (same guards).
   double perf_geomean() const;
   /// Mean allocator CPU load: alloc time per invocation / window length.
   double allocator_load() const;

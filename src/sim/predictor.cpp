@@ -1,10 +1,12 @@
 #include "sim/predictor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace rrf::sim {
 
@@ -39,6 +41,15 @@ void DemandPredictor::observe(const ResourceVector& actual) {
       auto& errors = under_errors_[k];
       errors.push_back(under);
       if (errors.size() > config_.error_window) errors.pop_front();
+      if (obs::metrics_enabled()) {
+        // Relative undershoot of the previous forecast, 0 when it covered
+        // the demand.  Bounded by 1, so ratio-scaled buckets.
+        static constexpr std::array<double, 6> kUnderBounds = {
+            0.01, 0.05, 0.1, 0.2, 0.5, 1.0};
+        static obs::Histogram& underprediction = obs::metrics().histogram(
+            "predictor.underprediction", kUnderBounds);
+        underprediction.observe(under);
+      }
     }
     ewma_[k] = observations_ == 0
                    ? actual[k]
@@ -54,6 +65,11 @@ void DemandPredictor::observe(const ResourceVector& actual) {
   }
   ++observations_;
   has_prediction_ = false;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& observations =
+        obs::metrics().counter("predictor.observations");
+    observations.add();
+  }
   if (config_.enable_periodicity &&
       observations_ % config_.redetect_every == 0) {
     maybe_redetect_period();
@@ -84,6 +100,11 @@ void DemandPredictor::maybe_redetect_period() {
     }
   }
   period_ = best_lag;  // 0 when nothing confident was found
+  if (obs::metrics_enabled() && best_lag > 0) {
+    static obs::Counter& detections =
+        obs::metrics().counter("predictor.period_detections");
+    detections.add();
+  }
 }
 
 ResourceVector DemandPredictor::predict() const {

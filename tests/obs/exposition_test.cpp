@@ -1,0 +1,171 @@
+#include "obs/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rrf::obs {
+namespace {
+
+/// Tiny blocking HTTP client: one GET, reads until the server closes.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ObsExposition, LabeledBuildsRegistryKeys) {
+  EXPECT_EQ(labeled("fairness.tenant_beta", {{"tenant", "tpcc-1"}}),
+            "fairness.tenant_beta{tenant=tpcc-1}");
+  EXPECT_EQ(labeled("fairness.alerts", {{"kind", "jain"}, {"tenant", "a"}}),
+            "fairness.alerts{kind=jain,tenant=a}");
+}
+
+TEST(ObsExposition, PrometheusNameManglesAndParsesLabels) {
+  const PrometheusName plain = prometheus_name("phase.allocate.seconds");
+  EXPECT_EQ(plain.base, "rrf_phase_allocate_seconds");
+  EXPECT_TRUE(plain.labels.empty());
+
+  const PrometheusName with_labels =
+      prometheus_name("fairness.tenant_beta{tenant=tpcc-1}");
+  EXPECT_EQ(with_labels.base, "rrf_fairness_tenant_beta");
+  ASSERT_EQ(with_labels.labels.size(), 1u);
+  EXPECT_EQ(with_labels.labels[0].first, "tenant");
+  EXPECT_EQ(with_labels.labels[0].second, "tpcc-1");
+
+  const PrometheusName multi =
+      prometheus_name("fairness.alerts{kind=jain,tenant=a}");
+  ASSERT_EQ(multi.labels.size(), 2u);
+  EXPECT_EQ(multi.labels[0].first, "kind");
+  EXPECT_EQ(multi.labels[1].first, "tenant");
+
+  // Already-prefixed names are not double-prefixed.
+  EXPECT_EQ(prometheus_name("rrf_custom").base, "rrf_custom");
+}
+
+TEST(ObsExposition, WritePrometheusRendersAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(3);
+  registry.gauge(labeled("fairness.tenant_beta", {{"tenant", "a"}})).set(0.5);
+  registry.gauge(labeled("fairness.tenant_beta", {{"tenant", "b"}})).set(1.5);
+  const std::array<double, 2> bounds = {1.0, 2.0};
+  Histogram& h = registry.histogram("latency", bounds);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);
+
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE rrf_hits counter\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_hits 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_fairness_tenant_beta{tenant=\"a\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("rrf_fairness_tenant_beta{tenant=\"b\"} 1.5"),
+            std::string::npos);
+  // One TYPE line for the whole labeled family, not one per series.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE rrf_fairness_tenant_beta", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+
+  // Histogram buckets are cumulative and end in +Inf.
+  EXPECT_NE(text.find("rrf_latency_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_latency_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rrf_latency_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_latency_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExposition, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.gauge(labeled("g", {{"k", "a\"b\\c\nd"}})).set(1.0);
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  EXPECT_NE(os.str().find("rrf_g{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(ObsExposition, ServerServesMetricsHealthAndNotFound) {
+  MetricsRegistry registry;
+  registry.gauge("fairness.jain_index").set(0.97);
+  registry.counter("fairness.alerts").add(2);
+
+  ExpositionServer::Config config;
+  config.port = 0;  // ephemeral
+  ExpositionServer server(config, &registry);
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("rrf_fairness_jain_index 0.97"), std::string::npos);
+  EXPECT_NE(metrics.find("rrf_fairness_alerts 2"), std::string::npos);
+
+  const std::string json = http_get(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("fairness.jain_index"), std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 4u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(ObsExposition, ServerRestartsAfterStop) {
+  MetricsRegistry registry;
+  registry.counter("restart.probe").add(1);
+  ExpositionServer server(ExpositionServer::Config{}, &registry);
+  server.start();
+  server.stop();
+  server.start();
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("rrf_restart_probe 1"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rrf::obs

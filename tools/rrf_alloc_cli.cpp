@@ -11,6 +11,9 @@
 
 #include "alloc/entity_io.hpp"
 #include "alloc/factory.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -23,6 +26,10 @@ using namespace rrf;
       "  --policy    tshirt|wmmf|drf|drf-seq|irt|rrf|rrf-sp (default rrf)\n"
       "  --capacity  pool capacity per resource type, comma separated\n"
       "              (same arity as the CSV's share/demand columns)\n"
+      "  --trace <path>    record allocation events; Chrome trace JSON, or\n"
+      "                    JSONL if the path ends in .jsonl\n"
+      "  --metrics <path>  write a metrics snapshot; JSON, or CSV/.prom by\n"
+      "                    extension (Prometheus text format for .prom)\n"
       "  <csv>       entity file, or '-' for stdin\n";
   std::exit(code);
 }
@@ -36,12 +43,52 @@ ResourceVector parse_vector(const std::string& text) {
   return ResourceVector(std::span<const double>(values));
 }
 
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void write_observability_outputs(const std::string& trace_path,
+                                 const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      std::exit(1);
+    }
+    if (ends_with(trace_path, ".jsonl")) {
+      obs::tracer().write_jsonl(out);
+    } else {
+      obs::tracer().write_chrome_trace(out);
+    }
+    std::cout << "wrote " << trace_path << " ("
+              << obs::tracer().events().size() << " events)\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_path << " for writing\n";
+      std::exit(1);
+    }
+    if (ends_with(metrics_path, ".csv")) {
+      obs::metrics().write_csv(out);
+    } else if (ends_with(metrics_path, ".prom")) {
+      obs::write_prometheus(out, obs::metrics());
+    } else {
+      obs::metrics().write_json(out);
+    }
+    std::cout << "wrote " << metrics_path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string policy_name = "rrf";
   std::string capacity_text;
   std::string input_path;
+  std::string trace_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,10 +99,14 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--policy") policy_name = next();
     else if (arg == "--capacity") capacity_text = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--metrics") metrics_path = next();
     else if (input_path.empty()) input_path = arg;
     else usage(2);
   }
   if (capacity_text.empty() || input_path.empty()) usage(2);
+  obs::set_tracing_enabled(!trace_path.empty());
+  obs::set_metrics_enabled(!metrics_path.empty());
 
   try {
     const ResourceVector capacity = parse_vector(capacity_text);
@@ -76,6 +127,7 @@ int main(int argc, char** argv) {
     std::cout << "policy: " << policy_name << ", capacity "
               << capacity.to_string(0) << "\n"
               << alloc::format_result(entities, result);
+    write_observability_outputs(trace_path, metrics_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -6,18 +6,24 @@
 //   rrf_sim_cli --policy all --fill        # compare every policy
 //
 // Run with --help for the full flag list.
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/experiments.hpp"
+#include "obs/audit.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workload/profile.hpp"
@@ -46,6 +52,11 @@ struct CliOptions {
   /// Observability outputs (empty = the subsystem stays disabled).
   std::string trace_path;
   std::string metrics_path;
+  /// Live Prometheus exposition: port to serve /metrics on (-1 = off,
+  /// 0 = ephemeral).
+  int serve_port = -1;
+  /// Seconds to keep serving after the runs finish (CI scrapes / demos).
+  double serve_hold = 0.0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -74,7 +85,15 @@ struct CliOptions {
       "                      the path ends in .jsonl\n"
       "  --metrics <path>    write a metrics snapshot (counters + per-phase\n"
       "                      timing histograms); JSON, or CSV if the path\n"
-      "                      ends in .csv\n"
+      "                      ends in .csv, or Prometheus text format if it\n"
+      "                      ends in .prom\n"
+      "  --serve-metrics <p> serve the live registry over HTTP on port <p>\n"
+      "                      (0 picks an ephemeral port): GET /metrics is\n"
+      "                      Prometheus text format, /metrics.json the JSON\n"
+      "                      snapshot.  Implies metric collection and the\n"
+      "                      fairness auditor.\n"
+      "  --serve-hold <s>    keep serving <s> seconds after the runs finish\n"
+      "                      (default 0; use with --serve-metrics)\n"
       "  --help\n";
   std::exit(code);
 }
@@ -115,6 +134,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--csv") options.csv = next(i);
     else if (arg == "--trace") options.trace_path = next(i);
     else if (arg == "--metrics") options.metrics_path = next(i);
+    else if (arg == "--serve-metrics") options.serve_port = std::stoi(next(i));
+    else if (arg == "--serve-hold") options.serve_hold = std::stod(next(i));
     else if (arg == "--workloads") {
       options.workloads.clear();
       std::stringstream ss(next(i));
@@ -188,6 +209,8 @@ void write_observability_outputs(const CliOptions& options) {
     std::ofstream out = open_output(options.metrics_path);
     if (ends_with(options.metrics_path, ".csv")) {
       obs::metrics().write_csv(out);
+    } else if (ends_with(options.metrics_path, ".prom")) {
+      obs::write_prometheus(out, obs::metrics());
     } else {
       obs::metrics().write_json(out);
     }
@@ -195,12 +218,42 @@ void write_observability_outputs(const CliOptions& options) {
   }
 }
 
+void print_alert_summary(const sim::SimResult& result) {
+  if (result.alerts.empty()) {
+    std::cout << "fairness alerts: none\n";
+    return;
+  }
+  std::array<std::size_t, obs::kAlertKindCount> by_kind{};
+  for (const obs::Alert& alert : result.alerts) {
+    ++by_kind[static_cast<std::size_t>(alert.kind)];
+  }
+  std::cout << "fairness alerts: " << result.alerts.size() << " (";
+  bool first = true;
+  for (std::size_t k = 0; k < obs::kAlertKindCount; ++k) {
+    if (by_kind[k] == 0) continue;
+    if (!first) std::cout << ", ";
+    first = false;
+    std::cout << obs::to_string(static_cast<obs::AlertKind>(k)) << "="
+              << by_kind[k];
+  }
+  std::cout << ")\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions options = parse(argc, argv);
   obs::set_tracing_enabled(!options.trace_path.empty());
-  obs::set_metrics_enabled(!options.metrics_path.empty());
+  obs::set_metrics_enabled(!options.metrics_path.empty() ||
+                           options.serve_port >= 0);
+
+  std::unique_ptr<obs::ExpositionServer> server;
+  if (options.serve_port >= 0) {
+    obs::ExpositionServer::Config server_config;
+    server_config.port = static_cast<std::uint16_t>(options.serve_port);
+    server = std::make_unique<obs::ExpositionServer>(server_config);
+    server->start();
+  }
 
   sim::Scenario scenario = [&] {
     if (options.fill) {
@@ -277,7 +330,9 @@ int main(int argc, char** argv) {
               << TextTable::pct(result.mean_utilization[0]) << " RAM "
               << TextTable::pct(result.mean_utilization[1])
               << "; allocator load "
-              << TextTable::pct(result.allocator_load(), 4) << "\n\n";
+              << TextTable::pct(result.allocator_load(), 4) << "\n";
+    if (obs::metrics_enabled()) print_alert_summary(result);
+    std::cout << "\n";
   }
 
   if (!options.csv.empty()) {
@@ -285,5 +340,14 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << options.csv << "\n";
   }
   write_observability_outputs(options);
+  if (server) {
+    if (options.serve_hold > 0.0) {
+      std::cout << "holding /metrics open for " << options.serve_hold
+                << "s (port " << server->port() << ")\n";
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.serve_hold));
+    }
+    server->stop();
+  }
   return 0;
 }
