@@ -1,0 +1,281 @@
+#include "harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/synthetic.hpp"
+
+namespace rrf::bench {
+
+namespace {
+
+constexpr const char* kPhaseNames[obs::kPhaseCount] = {"predict", "allocate",
+                                                       "actuate", "settle"};
+
+CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
+                    const SweepPoint& point) {
+  sim::SyntheticConfig syn;
+  syn.nodes = point.nodes;
+  syn.vms_per_node = point.vms_per_node;
+  syn.tenants = point.tenants;
+  syn.seed = config.seed;
+  const sim::Scenario scenario = sim::make_synthetic_scenario(syn);
+
+  sim::EngineConfig engine;
+  engine.policy = policy;
+  engine.window = 5.0;
+  engine.duration = engine.window * static_cast<double>(config.windows);
+  engine.use_actuators = config.use_actuators;
+  engine.parallel_nodes = config.parallel_nodes;
+  engine.audit.enabled = false;
+
+  CellResult cell;
+  cell.policy = policy;
+  cell.point = point;
+  cell.windows = config.windows;
+  cell.trials = config.trials;
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> window_wall;
+  window_wall.reserve(config.trials * config.windows);
+  Clock::time_point window_start;
+  sim::EngineConfig timed = engine;  // copy; observer differs per trial
+  std::size_t invocations = 0;
+
+  for (std::size_t trial = 0; trial < config.warmup + config.trials;
+       ++trial) {
+    const bool measured = trial >= config.warmup;
+    timed.observer = [&](const sim::WindowSnapshot&) {
+      const Clock::time_point now = Clock::now();
+      if (measured) {
+        window_wall.push_back(
+            std::chrono::duration<double>(now - window_start).count());
+      }
+      window_start = now;
+    };
+    window_start = Clock::now();
+    const Clock::time_point trial_start = window_start;
+    const sim::SimResult result = sim::run_simulation(scenario, timed);
+    const double trial_wall =
+        std::chrono::duration<double>(Clock::now() - trial_start).count();
+    if (!measured) continue;
+    cell.total_wall_seconds += trial_wall;
+    invocations += result.alloc_invocations;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      cell.phase_seconds[i] += result.phase_seconds[i];
+    }
+  }
+
+  cell.median_round_seconds = quantile(window_wall, 0.5);
+  cell.p95_round_seconds = quantile(window_wall, 0.95);
+  cell.mean_round_seconds = mean(window_wall);
+  cell.allocs_per_second =
+      cell.total_wall_seconds > 0.0
+          ? static_cast<double>(invocations) / cell.total_wall_seconds
+          : 0.0;
+  for (double& s : cell.phase_seconds) {
+    s /= static_cast<double>(config.trials);
+  }
+  return cell;
+}
+
+json::Value sweep_point_json(const SweepPoint& p) {
+  return json::Object{{"nodes", p.nodes},
+                      {"vms_per_node", p.vms_per_node},
+                      {"tenants", p.tenants}};
+}
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw DomainError(what);
+}
+
+const json::Value& require_member(const json::Value& obj,
+                                  const std::string& key) {
+  const json::Value* v = obj.find(key);
+  check(v != nullptr, "bench report: missing key '" + key + "'");
+  return *v;
+}
+
+double require_number(const json::Value& obj, const std::string& key) {
+  const json::Value& v = require_member(obj, key);
+  check(v.is_number(), "bench report: '" + key + "' must be a number");
+  return v.as_number();
+}
+
+double require_nonneg(const json::Value& obj, const std::string& key) {
+  const double d = require_number(obj, key);
+  check(d >= 0.0, "bench report: '" + key + "' must be >= 0");
+  return d;
+}
+
+}  // namespace
+
+HarnessConfig quick_config() {
+  HarnessConfig config;
+  config.policies = {sim::PolicyKind::kTshirt, sim::PolicyKind::kWmmf,
+                     sim::PolicyKind::kDrf, sim::PolicyKind::kIwaOnly,
+                     sim::PolicyKind::kRrf};
+  // Small and medium cells, then the pinned regression cell the
+  // acceptance speedup is measured on: 32 nodes x 16 VMs x 16 tenants.
+  config.sweep = {{4, 8, 4}, {16, 8, 8}, {32, 16, 16}};
+  config.warmup = 1;
+  config.trials = 5;
+  config.windows = 30;
+  config.label = "quick";
+  return config;
+}
+
+HarnessConfig full_config() {
+  HarnessConfig config = quick_config();
+  config.sweep = {{4, 8, 4},   {16, 8, 8},   {32, 16, 16},
+                  {32, 16, 4}, {32, 16, 64}, {64, 16, 32},
+                  {128, 8, 32}};
+  config.trials = 5;
+  config.windows = 60;
+  config.label = "full";
+  return config;
+}
+
+Report run_harness(const HarnessConfig& config, std::ostream* progress) {
+  RRF_REQUIRE(!config.policies.empty() && !config.sweep.empty(),
+              "bench harness needs >= 1 policy and >= 1 sweep point");
+  RRF_REQUIRE(config.trials > 0 && config.windows > 0,
+              "bench harness needs trials and windows > 0");
+  Report report;
+  report.config = config;
+  report.cells.reserve(config.policies.size() * config.sweep.size());
+  for (const SweepPoint& point : config.sweep) {
+    for (const sim::PolicyKind policy : config.policies) {
+      CellResult cell = run_cell(config, policy, point);
+      if (progress != nullptr) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-7s %3zux%-2zux%-3zu median %9.3f ms  p95 %9.3f ms  "
+                      "%10.0f allocs/s\n",
+                      sim::to_string(policy).c_str(), point.nodes,
+                      point.vms_per_node, point.tenants,
+                      cell.median_round_seconds * 1e3,
+                      cell.p95_round_seconds * 1e3, cell.allocs_per_second);
+        *progress << line << std::flush;
+      }
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+json::Value report_to_json(const Report& report) {
+  json::Array policies;
+  for (const sim::PolicyKind p : report.config.policies) {
+    policies.push_back(sim::to_string(p));
+  }
+  json::Array sweep;
+  for (const SweepPoint& p : report.config.sweep) {
+    sweep.push_back(sweep_point_json(p));
+  }
+  json::Array results;
+  for (const CellResult& cell : report.cells) {
+    json::Object phases;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      phases.emplace_back(kPhaseNames[i], cell.phase_seconds[i]);
+    }
+    results.push_back(json::Object{
+        {"policy", sim::to_string(cell.policy)},
+        {"nodes", cell.point.nodes},
+        {"vms_per_node", cell.point.vms_per_node},
+        {"tenants", cell.point.tenants},
+        {"windows", cell.windows},
+        {"trials", cell.trials},
+        {"median_round_seconds", cell.median_round_seconds},
+        {"p95_round_seconds", cell.p95_round_seconds},
+        {"mean_round_seconds", cell.mean_round_seconds},
+        {"total_wall_seconds", cell.total_wall_seconds},
+        {"allocs_per_second", cell.allocs_per_second},
+        {"phase_seconds", std::move(phases)},
+    });
+  }
+  return json::Object{
+      {"schema_version", kBenchSchemaVersion},
+      {"generated_by", "rrf_bench"},
+      {"config",
+       json::Object{
+           {"label", report.config.label},
+           {"policies", std::move(policies)},
+           {"sweep", std::move(sweep)},
+           {"warmup", report.config.warmup},
+           {"trials", report.config.trials},
+           {"windows", report.config.windows},
+           {"seed", report.config.seed},
+           {"use_actuators", report.config.use_actuators},
+           {"parallel_nodes", report.config.parallel_nodes},
+       }},
+      {"results", std::move(results)},
+  };
+}
+
+void validate_report_json(const json::Value& doc) {
+  check(doc.is_object(), "bench report: document must be an object");
+  const double version = require_number(doc, "schema_version");
+  check(version == static_cast<double>(kBenchSchemaVersion),
+              "bench report: unsupported schema_version");
+  check(require_member(doc, "generated_by").is_string(),
+              "bench report: 'generated_by' must be a string");
+
+  const json::Value& config = require_member(doc, "config");
+  check(config.is_object(), "bench report: 'config' must be an object");
+  check(require_member(config, "policies").is_array(),
+              "bench report: 'config.policies' must be an array");
+  require_nonneg(config, "trials");
+  require_nonneg(config, "windows");
+
+  const json::Value& results = require_member(doc, "results");
+  check(results.is_array(), "bench report: 'results' must be an array");
+  check(!results.as_array().empty(),
+              "bench report: 'results' must not be empty");
+  for (const json::Value& cell : results.as_array()) {
+    check(cell.is_object(), "bench report: result cells are objects");
+    const std::string& policy = require_member(cell, "policy").as_string();
+    sim::policy_from_string(policy);  // throws on an unknown policy
+    require_nonneg(cell, "nodes");
+    require_nonneg(cell, "vms_per_node");
+    require_nonneg(cell, "tenants");
+    const double median = require_nonneg(cell, "median_round_seconds");
+    const double p95 = require_nonneg(cell, "p95_round_seconds");
+    check(p95 + 1e-12 >= median,
+                "bench report: p95 below median in cell " + policy);
+    require_nonneg(cell, "mean_round_seconds");
+    require_nonneg(cell, "total_wall_seconds");
+    require_nonneg(cell, "allocs_per_second");
+    const json::Value& phases = require_member(cell, "phase_seconds");
+    check(phases.is_object(),
+                "bench report: 'phase_seconds' must be an object");
+    for (const char* name : kPhaseNames) {
+      require_nonneg(phases, name);
+    }
+  }
+}
+
+std::string report_summary(const Report& report) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-8s %6s %4s %4s %12s %12s %14s\n",
+                "policy", "nodes", "vms", "ten", "median(ms)", "p95(ms)",
+                "allocs/s");
+  out += line;
+  for (const CellResult& cell : report.cells) {
+    std::snprintf(line, sizeof(line),
+                  "%-8s %6zu %4zu %4zu %12.3f %12.3f %14.0f\n",
+                  sim::to_string(cell.policy).c_str(), cell.point.nodes,
+                  cell.point.vms_per_node, cell.point.tenants,
+                  cell.median_round_seconds * 1e3,
+                  cell.p95_round_seconds * 1e3, cell.allocs_per_second);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rrf::bench

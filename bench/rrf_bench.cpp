@@ -1,0 +1,148 @@
+// rrf_bench: deterministic macro-benchmark of the allocation hot path.
+//
+// Sweeps node count x VMs-per-node x tenant count across sharing policies
+// on synthetic scenarios (fixed seeds), with warmup + repeated trials, and
+// emits the machine-readable BENCH_rrf.json performance trajectory
+// (schema: docs/BENCHMARKING.md; gated in CI by scripts/bench_compare.py).
+//
+// Usage:
+//   rrf_bench [--quick | --full] [--out PATH]
+//             [--policies rrf,drf,...] [--sweep NxVxT ...]
+//             [--trials N] [--warmup N] [--windows N] [--seed N]
+//             [--actuators] [--parallel] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace rrf;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "rrf_bench: %s\n", message.c_str());
+  std::fprintf(
+      stderr,
+      "usage: rrf_bench [--quick|--full] [--out PATH] [--policies a,b,c]\n"
+      "                 [--sweep NxVxT]... [--trials N] [--warmup N]\n"
+      "                 [--windows N] [--seed N] [--actuators] [--parallel]\n"
+      "                 [--quiet]\n");
+  std::exit(2);
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& value) {
+  try {
+    return static_cast<std::size_t>(std::stoull(value));
+  } catch (const std::exception&) {
+    usage_error("bad value for " + flag + ": " + value);
+  }
+}
+
+std::vector<sim::PolicyKind> parse_policies(const std::string& csv) {
+  std::vector<sim::PolicyKind> policies;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string name =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!name.empty()) {
+      try {
+        policies.push_back(sim::policy_from_string(name));
+      } catch (const std::exception&) {
+        usage_error("unknown policy in --policies: " + name);
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (policies.empty()) usage_error("empty --policies list");
+  return policies;
+}
+
+bench::SweepPoint parse_sweep(const std::string& spec) {
+  bench::SweepPoint point{};
+  const std::size_t x1 = spec.find('x');
+  const std::size_t x2 = x1 == std::string::npos ? std::string::npos
+                                                 : spec.find('x', x1 + 1);
+  if (x1 == std::string::npos || x2 == std::string::npos) {
+    usage_error("bad --sweep spec (want NxVxT): " + spec);
+  }
+  point.nodes = parse_size("--sweep", spec.substr(0, x1));
+  point.vms_per_node = parse_size("--sweep", spec.substr(x1 + 1, x2 - x1 - 1));
+  point.tenants = parse_size("--sweep", spec.substr(x2 + 1));
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessConfig config = bench::quick_config();
+  std::string out_path = "BENCH_rrf.json";
+  std::vector<bench::SweepPoint> custom_sweep;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      config = bench::quick_config();
+    } else if (arg == "--full") {
+      config = bench::full_config();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--policies") {
+      config.policies = parse_policies(next());
+    } else if (arg == "--sweep") {
+      custom_sweep.push_back(parse_sweep(next()));
+    } else if (arg == "--trials") {
+      config.trials = parse_size(arg, next());
+    } else if (arg == "--warmup") {
+      config.warmup = parse_size(arg, next());
+    } else if (arg == "--windows") {
+      config.windows = parse_size(arg, next());
+    } else if (arg == "--seed") {
+      config.seed = parse_size(arg, next());
+    } else if (arg == "--actuators") {
+      config.use_actuators = true;
+    } else if (arg == "--parallel") {
+      config.parallel_nodes = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error("help");
+    } else {
+      usage_error("unknown flag: " + arg);
+    }
+  }
+  if (!custom_sweep.empty()) {
+    config.sweep = custom_sweep;
+    config.label = "custom";
+  }
+
+  try {
+    const bench::Report report =
+        bench::run_harness(config, quiet ? nullptr : &std::cerr);
+    const json::Value doc = bench::report_to_json(report);
+    bench::validate_report_json(doc);  // self-check before writing
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "rrf_bench: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << doc.dump(2);
+    std::cout << bench::report_summary(report);
+    std::cout << "wrote " << out_path << "\n";
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rrf_bench: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two rrf_bench reports and fail on perf regressions.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+                   [--metric median_round_seconds] [--normalize POLICY]
+
+Cells are matched by (policy, nodes, vms_per_node, tenants).  A cell
+regresses when current > baseline * (1 + threshold).
+
+CI runners differ wildly in single-core speed, so comparing absolute
+wall-clock against a checked-in baseline would be noise.  --normalize
+divides every cell's metric by the same sweep point's metric for the
+named policy (typically the trivial `tshirt` static policy) *within the
+same report*.  The ratio "how much slower is RRF than a no-op
+allocation pass on this machine" is what the gate actually pins, and it
+transfers across machines.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    version = doc.get("schema_version")
+    if version != 1:
+        raise SystemExit(
+            f"{path}: unsupported schema_version {version!r} (want 1)")
+    cells = doc.get("results")
+    if not isinstance(cells, list) or not cells:
+        raise SystemExit(f"{path}: no results")
+    return cells
+
+
+def cell_key(cell):
+    return (cell["policy"], int(cell["nodes"]), int(cell["vms_per_node"]),
+            int(cell["tenants"]))
+
+
+def point_key(cell):
+    return (int(cell["nodes"]), int(cell["vms_per_node"]),
+            int(cell["tenants"]))
+
+
+def index_cells(cells, metric):
+    out = {}
+    for cell in cells:
+        if metric not in cell:
+            raise SystemExit(f"cell {cell_key(cell)} lacks metric '{metric}'")
+        out[cell_key(cell)] = float(cell[metric])
+    return out
+
+
+def normalize(values, policy):
+    """Divide each cell by the reference policy's value at the same point."""
+    reference = {}
+    for (pol, *point), v in values.items():
+        if pol == policy:
+            reference[tuple(point)] = v
+    if not reference:
+        raise SystemExit(
+            f"--normalize {policy}: reference policy not in report")
+    out = {}
+    for (pol, *point), v in values.items():
+        ref = reference.get(tuple(point))
+        if ref is None or ref <= 0.0:
+            continue
+        out[(pol, *point)] = v / ref
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slowdown (0.25 = +25%%)")
+    parser.add_argument("--metric", default="median_round_seconds")
+    parser.add_argument("--normalize", metavar="POLICY", default=None,
+                        help="compare ratios to this policy's cell at the "
+                             "same sweep point instead of absolute values")
+    parser.add_argument("--min-baseline-seconds", type=float, default=0.0,
+                        help="cells whose absolute baseline metric is below "
+                             "this are reported but not gated (sub-0.1ms "
+                             "cells are scheduler-jitter noise)")
+    args = parser.parse_args()
+
+    base_abs = index_cells(load_report(args.baseline), args.metric)
+    cur = index_cells(load_report(args.current), args.metric)
+    base = base_abs
+    if args.normalize:
+        base = normalize(base_abs, args.normalize)
+        cur = normalize(cur, args.normalize)
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        raise SystemExit("no overlapping cells between baseline and current")
+
+    unit = "x ref" if args.normalize else "s"
+    header = (f"{'policy':<8} {'nodes':>5} {'vms':>4} {'ten':>4} "
+              f"{'baseline':>12} {'current':>12} {'delta':>8}")
+    print(header)
+    regressions = []
+    for key in shared:
+        b, c = base[key], cur[key]
+        delta = (c - b) / b if b > 0 else 0.0
+        gated = base_abs.get(key, 0.0) >= args.min_baseline_seconds
+        flag = "" if gated else "  (not gated)"
+        if gated and b > 0 and c > b * (1.0 + args.threshold):
+            flag = "  << REGRESSION"
+            regressions.append((key, b, c, delta))
+        policy, nodes, vms, tenants = key
+        print(f"{policy:<8} {nodes:>5} {vms:>4} {tenants:>4} "
+              f"{b:>10.4f}{unit:>2} {c:>10.4f}{unit:>2} "
+              f"{delta:>+7.1%}{flag}")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"note: {len(missing)} baseline cell(s) absent from current "
+              f"report", file=sys.stderr)
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed beyond "
+              f"{args.threshold:.0%} on {args.metric}"
+              + (f" (normalized to {args.normalize})" if args.normalize
+                 else ""),
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no cell regressed beyond {args.threshold:.0%} "
+          f"({len(shared)} cells compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

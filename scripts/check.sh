@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full verification sweep: release build + tests, then an
-# AddressSanitizer+UBSan build + tests.  Run from the repository root.
+# AddressSanitizer+UBSan build + tests, then (optionally, RRF_TSAN=1) a
+# ThreadSanitizer build + tests.  Run from the repository root.
+#
+# Tests are labeled (unit / integration / obs — see tests/CMakeLists.txt)
+# so each tier can be re-run in isolation with `ctest -L <label>`.
 set -euo pipefail
 
 for tool in cmake ninja; do
@@ -11,19 +15,39 @@ for tool in cmake ninja; do
   fi
 done
 
+launcher_flags=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher_flags+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 echo "== release build =="
-cmake -B build -G Ninja -DRRF_WERROR=ON
+cmake -B build -G Ninja -DRRF_WERROR=ON "${launcher_flags[@]}"
 cmake --build build
 ctest --test-dir build --output-on-failure
-echo "== release observability tests =="
-ctest --test-dir build --output-on-failure -R '^Obs'
+echo "== release unit tier =="
+ctest --test-dir build --output-on-failure -L unit
+echo "== release integration tier =="
+ctest --test-dir build --output-on-failure -L integration
+echo "== release observability tier =="
+ctest --test-dir build --output-on-failure -L obs
 
 echo "== asan+ubsan build =="
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-  -DRRF_SANITIZE=address,undefined
+  -DRRF_SANITIZE=address,undefined "${launcher_flags[@]}"
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
-echo "== asan+ubsan observability tests =="
-ctest --test-dir build-asan --output-on-failure -R '^Obs'
+echo "== asan+ubsan observability tier =="
+ctest --test-dir build-asan --output-on-failure -L obs
+
+if [[ "${RRF_TSAN:-0}" == "1" ]]; then
+  echo "== tsan build =="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRRF_SANITIZE=thread "${launcher_flags[@]}"
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure
+fi
+
+echo "== formatting + hygiene =="
+bash scripts/format_check.sh
 
 echo "all checks passed"

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Formatting gate.
+#
+#   scripts/format_check.sh              # check files changed vs BASE_REF
+#   scripts/format_check.sh --all        # check every tracked C++ file
+#   scripts/format_check.sh --fix [...]  # rewrite instead of checking
+#
+# clang-format is enforced *incrementally*: only the files a change
+# touches must match .clang-format, so the tree converges commit by
+# commit without a big-bang reformat.  Independent of clang-format, a
+# basic hygiene sweep (tabs, trailing whitespace, CRLF, missing final
+# newline) runs over the whole tree.
+#
+# BASE_REF picks the comparison point for the incremental check
+# (default: origin/main, falling back to HEAD~1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=check
+scope=diff
+if [[ "${1:-}" == "--fix" ]]; then mode=fix; shift; fi
+if [[ "${1:-}" == "--all" ]]; then scope=all; shift; fi
+
+list_tracked() {
+  git ls-files '*.cpp' '*.hpp' '*.cc' '*.h'
+}
+
+list_changed() {
+  local base="${BASE_REF:-}"
+  if [[ -z "$base" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base=origin/main
+    else
+      base=HEAD~1
+    fi
+  fi
+  local merge_base
+  merge_base=$(git merge-base "$base" HEAD 2>/dev/null || echo "$base")
+  git diff --name-only --diff-filter=ACMR "$merge_base" -- \
+    '*.cpp' '*.hpp' '*.cc' '*.h'
+}
+
+# ---- hygiene sweep (whole tree, no external tools needed) ----
+hygiene_bad=0
+while IFS= read -r f; do
+  [[ -f "$f" ]] || continue
+  if grep -q $'\t' "$f"; then
+    echo "hygiene: $f contains tab characters" >&2
+    hygiene_bad=1
+  fi
+  if grep -q $'\r' "$f"; then
+    echo "hygiene: $f contains CRLF line endings" >&2
+    hygiene_bad=1
+  fi
+  if grep -qE ' +$' "$f"; then
+    echo "hygiene: $f has trailing whitespace" >&2
+    hygiene_bad=1
+  fi
+  if [[ -s "$f" && -n "$(tail -c 1 "$f")" ]]; then
+    echo "hygiene: $f is missing a final newline" >&2
+    hygiene_bad=1
+  fi
+done < <(list_tracked)
+if [[ $hygiene_bad -ne 0 ]]; then
+  echo "hygiene sweep failed" >&2
+  exit 1
+fi
+echo "hygiene sweep clean"
+
+# ---- clang-format (incremental by default) ----
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format not found; skipping style check (hygiene only)" >&2
+  exit 0
+fi
+
+if [[ $scope == all ]]; then
+  files=$(list_tracked)
+else
+  files=$(list_changed)
+fi
+if [[ -z "$files" ]]; then
+  echo "no C++ files to check"
+  exit 0
+fi
+
+if [[ $mode == fix ]]; then
+  echo "$files" | xargs clang-format -i
+  echo "formatted $(echo "$files" | wc -l) file(s)"
+else
+  echo "$files" | xargs clang-format --dry-run --Werror
+  echo "clang-format clean ($(echo "$files" | wc -l) file(s))"
+fi

@@ -34,10 +34,26 @@ constexpr double kEps = 1e-9;
 /// on a prefix and false after it.
 class BoundarySearch {
  public:
+  /// The three cumulative-sum tables live in caller-provided scratch so
+  /// the per-resource-type loop reuses one heap block instead of
+  /// allocating three vectors per type.
+  struct Scratch {
+    std::vector<double> prefix_demand;
+    std::vector<double> suffix_share;
+    std::vector<double> suffix_lambda;
+  };
+
   BoundarySearch(double capacity, std::span<const AllocationEntity> entities,
                  std::span<const double> lambda,
-                 std::span<const std::size_t> order, std::size_t k)
-      : entities_(entities), lambda_(lambda), order_(order), k_(k) {
+                 std::span<const std::size_t> order, std::size_t k,
+                 Scratch& scratch)
+      : entities_(entities),
+        lambda_(lambda),
+        order_(order),
+        k_(k),
+        prefix_demand_(scratch.prefix_demand),
+        suffix_share_(scratch.suffix_share),
+        suffix_lambda_(scratch.suffix_lambda) {
     const std::size_t m = order.size();
     prefix_demand_.assign(m + 1, 0.0);
     suffix_share_.assign(m + 1, 0.0);
@@ -81,9 +97,9 @@ class BoundarySearch {
   std::span<const std::size_t> order_;
   std::size_t k_;
   double capacity_{0.0};
-  std::vector<double> prefix_demand_;
-  std::vector<double> suffix_share_;
-  std::vector<double> suffix_lambda_;
+  std::vector<double>& prefix_demand_;
+  std::vector<double>& suffix_share_;
+  std::vector<double>& suffix_lambda_;
 };
 
 }  // namespace
@@ -136,6 +152,12 @@ AllocationResult IrtAllocator::allocate_traced(
   std::vector<double> budget;
   if (options_.cap_gain_at_contribution) budget = lambda;
 
+  // Per-type scratch, reused across the k loop (order is re-filled by
+  // iota + stable_sort each iteration; the cumulative tables are
+  // reassigned by the BoundarySearch constructor).
+  std::vector<std::size_t> order(m);
+  BoundarySearch::Scratch search_scratch;
+
   for (std::size_t k = 0; k < p; ++k) {
     // ---- ordering: contributors by ascending U, then beneficiaries by
     // ascending V (lines 9-14). ----
@@ -154,7 +176,6 @@ AllocationResult IrtAllocator::allocate_traced(
                              : std::numeric_limits<double>::infinity();
     };
 
-    std::vector<std::size_t> order(m);
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
@@ -168,7 +189,8 @@ AllocationResult IrtAllocator::allocate_traced(
         order.begin(), order.end(), is_contributor));
 
     // ---- boundary search (line 15). ----
-    const BoundarySearch search(capacity[k], entities, lambda, order, k);
+    const BoundarySearch search(capacity[k], entities, lambda, order, k,
+                                search_scratch);
     std::size_t v = u;
     if (options_.cap_gain_at_contribution) {
       // Budget caps break the monotonicity proof, so the strategy-proof

@@ -10,15 +10,16 @@
 
 namespace rrf::alloc {
 
-IwaResult iwa_distribute(double tenant_total,
-                         std::span<const double> initial_shares,
-                         std::span<const double> demands) {
+double iwa_distribute_into(double tenant_total,
+                           std::span<const double> initial_shares,
+                           std::span<const double> demands,
+                           std::span<double> out) {
   RRF_REQUIRE(initial_shares.size() == demands.size(),
               "share/demand length mismatch");
+  RRF_REQUIRE(out.size() == initial_shares.size(),
+              "output span length mismatch");
   RRF_REQUIRE(tenant_total >= 0.0, "negative tenant grant");
   const std::size_t n = initial_shares.size();
-  IwaResult result;
-  result.allocations.assign(n, 0.0);
 
   // Line 1: Phi starts as the difference between the tenant-level grant and
   // the sum of the VMs' initial shares (IRT may have grown or shrunk it).
@@ -51,21 +52,31 @@ IwaResult iwa_distribute(double tenant_total,
       grant = demands[j];
     }
     grant = std::max(0.0, grant);
-    result.allocations[j] = grant;
+    out[j] = grant;
     used += grant;
   }
 
   // Whatever the VMs cannot absorb stays with the tenant.
-  result.headroom = std::max(0.0, tenant_total - used);
+  double headroom = std::max(0.0, tenant_total - used);
 
   // Degenerate defensive case: if the tenant-level grant cannot even cover
   // the capped allocations (tenant_total < used), scale down uniformly so
   // we never hand out more than the tenant owns.
   if (used > tenant_total && used > 0.0) {
     const double scale = tenant_total / used;
-    for (double& a : result.allocations) a *= scale;
-    result.headroom = 0.0;
+    for (double& a : out) a *= scale;
+    headroom = 0.0;
   }
+  return headroom;
+}
+
+IwaResult iwa_distribute(double tenant_total,
+                         std::span<const double> initial_shares,
+                         std::span<const double> demands) {
+  IwaResult result;
+  result.allocations.assign(initial_shares.size(), 0.0);
+  result.headroom = iwa_distribute_into(tenant_total, initial_shares,
+                                        demands, result.allocations);
   return result;
 }
 
@@ -85,7 +96,7 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
     invocations.add();
   }
 
-  std::vector<double> shares(n), demands(n);
+  std::vector<double> shares(n), demands(n), grants(n);
   for (std::size_t k = 0; k < p; ++k) {
     for (std::size_t j = 0; j < n; ++j) {
       RRF_REQUIRE(vms[j].initial_share.size() == p &&
@@ -94,17 +105,17 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
       shares[j] = vms[j].initial_share[k];
       demands[j] = vms[j].demand[k];
     }
-    IwaResult r = iwa_distribute(tenant_total[k], shares, demands);
+    out.headroom[k] =
+        iwa_distribute_into(tenant_total[k], shares, demands, grants);
     for (std::size_t j = 0; j < n; ++j) {
-      out.allocations[j][k] = r.allocations[j];
+      out.allocations[j][k] = grants[j];
     }
-    out.headroom[k] = r.headroom;
 
     if (obs::tracing_enabled() || obs::metrics_enabled()) {
       // One weight-adjustment event per VM whose grant moved away from its
       // initial share (positive: gained from siblings, negative: ceded).
       for (std::size_t j = 0; j < n; ++j) {
-        const double delta = r.allocations[j] - shares[j];
+        const double delta = grants[j] - shares[j];
         if (std::abs(delta) <= 1e-9) continue;
         if (obs::metrics_enabled()) {
           static obs::Counter& adjustments =
@@ -120,7 +131,7 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
           e.vm = static_cast<std::int32_t>(j);
           e.resource = static_cast<std::int8_t>(k);
           e.value = delta;
-          e.value2 = r.allocations[j];
+          e.value2 = grants[j];
           obs::tracer().record(e);
         }
       }

@@ -33,6 +33,15 @@ IwaResult iwa_distribute(double tenant_total,
                          std::span<const double> initial_shares,
                          std::span<const double> demands);
 
+/// In-place single-type IWA: writes the per-VM grants into `out`
+/// (out.size() == initial_shares.size()) and returns the tenant headroom.
+/// The allocation hot path uses this to reuse one buffer across resource
+/// types instead of allocating a result vector per type.
+double iwa_distribute_into(double tenant_total,
+                           std::span<const double> initial_shares,
+                           std::span<const double> demands,
+                           std::span<double> out);
+
 /// Vector version: runs iwa_distribute per resource type.
 /// `tenant_total[k]` is the tenant-level grant of type k; the VM entities'
 /// initial_share/demand fields supply s(j) and d(j).

@@ -1,0 +1,372 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace rrf::json {
+
+namespace {
+
+void indent_to(std::string& out, int indent, int depth) {
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip decimal form for a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, d);
+    if (std::strtod(probe, nullptr) == d) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth);
+
+void dump_array(const Array& a, std::string& out, int indent, int depth) {
+  if (a.empty()) {
+    out += "[]";
+    return;
+  }
+  out.push_back('[');
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (indent > 0) indent_to(out, indent, depth + 1);
+    dump_value(a[i], out, indent, depth + 1);
+  }
+  if (indent > 0) indent_to(out, indent, depth);
+  out.push_back(']');
+}
+
+void dump_object(const Object& o, std::string& out, int indent, int depth) {
+  if (o.empty()) {
+    out += "{}";
+    return;
+  }
+  out.push_back('{');
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    if (indent > 0) indent_to(out, indent, depth + 1);
+    out += escape(o[i].first);
+    out.push_back(':');
+    if (indent > 0) out.push_back(' ');
+    dump_value(o[i].second, out, indent, depth + 1);
+  }
+  if (indent > 0) indent_to(out, indent, depth);
+  out.push_back('}');
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    append_number(out, v.as_number());
+  } else if (v.is_string()) {
+    out += escape(v.as_string());
+  } else if (v.is_array()) {
+    dump_array(v.as_array(), out, indent, depth);
+  } else {
+    dump_object(v.as_object(), out, indent, depth);
+  }
+}
+
+/// Strict recursive-descent parser over a string_view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw DomainError("json parse error at byte " + std::to_string(pos_) +
+                      ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value(nullptr);
+      default: return Value(parse_number());
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        (void)value;
+        if (existing == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(members));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return value;
+  }
+
+  /// UTF-8 encode a BMP codepoint (surrogate pairs are passed through as
+  /// two 3-byte sequences; good enough for report tooling).
+  static void append_codepoint(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0u | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+    } else {
+      out.push_back(static_cast<char>(0xE0u | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3Fu)));
+      out.push_back(static_cast<char>(0x80u | (cp & 0x3Fu)));
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      std::size_t count = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail("bad number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("bad number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) fail("bad number exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw DomainError("json value is not a bool");
+  return std::get<bool>(v_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw DomainError("json value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw DomainError("json value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw DomainError("json value is not an array");
+  return std::get<Array>(v_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw DomainError("json value is not an object");
+  return std::get<Object>(v_);
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : as_object()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+Value Value::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace rrf::json

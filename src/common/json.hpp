@@ -1,0 +1,71 @@
+// Minimal JSON document model: an ordered-object value tree with a
+// writer (dump) and a strict recursive-descent parser.
+//
+// Used by the macro-benchmark harness to emit BENCH_rrf.json and by the
+// tests / CI tooling to schema-check it.  Object keys keep insertion
+// order so emitted reports diff cleanly across runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rrf::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object (duplicate keys are rejected by the parser).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : v_(b) {}                // NOLINT(runtime/explicit)
+  Value(double d) : v_(d) {}              // NOLINT(runtime/explicit)
+  Value(int i) : v_(static_cast<double>(i)) {}  // NOLINT(runtime/explicit)
+  Value(std::size_t u)                          // NOLINT(runtime/explicit)
+      : v_(static_cast<double>(u)) {}
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT(runtime/explicit)
+  Value(std::string s) : v_(std::move(s)) {}    // NOLINT(runtime/explicit)
+  Value(Array a) : v_(std::move(a)) {}          // NOLINT(runtime/explicit)
+  Value(Object o) : v_(std::move(o)) {}         // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw DomainError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  /// Serialize.  `indent > 0` pretty-prints with that many spaces per
+  /// level; `indent == 0` emits the compact single-line form.  Non-finite
+  /// numbers render as null (JSON has no NaN/Inf).
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete document (trailing garbage is an error).
+  /// Throws DomainError with a byte offset on malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Convenience: quote + escape a string literal as JSON.
+std::string escape(std::string_view s);
+
+}  // namespace rrf::json

@@ -10,59 +10,59 @@ namespace rrf {
 
 ResourceVector ResourceVector::uniform(std::size_t p, double value) {
   ResourceVector v(p);
-  std::fill(v.values_.begin(), v.values_.end(), value);
+  std::fill(v.data(), v.data() + p, value);
   return v;
 }
 
 ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
   check_same_size(o);
-  for (std::size_t k = 0; k < values_.size(); ++k) values_[k] += o.values_[k];
+  for (std::size_t k = 0; k < size_; ++k) data()[k] += o.data()[k];
   return *this;
 }
 
 ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
   check_same_size(o);
-  for (std::size_t k = 0; k < values_.size(); ++k) values_[k] -= o.values_[k];
+  for (std::size_t k = 0; k < size_; ++k) data()[k] -= o.data()[k];
   return *this;
 }
 
 ResourceVector& ResourceVector::operator*=(double s) {
-  for (double& v : values_) v *= s;
+  for (std::size_t k = 0; k < size_; ++k) data()[k] *= s;
   return *this;
 }
 
 ResourceVector& ResourceVector::operator/=(double s) {
   RRF_REQUIRE(s != 0.0, "division by zero scalar");
-  for (double& v : values_) v /= s;
+  for (std::size_t k = 0; k < size_; ++k) data()[k] /= s;
   return *this;
 }
 
 ResourceVector& ResourceVector::hadamard(const ResourceVector& o) {
   check_same_size(o);
-  for (std::size_t k = 0; k < values_.size(); ++k) values_[k] *= o.values_[k];
+  for (std::size_t k = 0; k < size_; ++k) data()[k] *= o.data()[k];
   return *this;
 }
 
 double ResourceVector::sum() const {
-  return std::accumulate(values_.begin(), values_.end(), 0.0);
+  return std::accumulate(data(), data() + size_, 0.0);
 }
 
 double ResourceVector::min() const {
-  return *std::min_element(values_.begin(), values_.end());
+  return *std::min_element(data(), data() + size_);
 }
 
 double ResourceVector::max() const {
-  return *std::max_element(values_.begin(), values_.end());
+  return *std::max_element(data(), data() + size_);
 }
 
 std::size_t ResourceVector::dominant(const ResourceVector& reference) const {
   check_same_size(reference);
   std::size_t best = 0;
   double best_ratio = -1.0;
-  for (std::size_t k = 0; k < values_.size(); ++k) {
-    RRF_REQUIRE(reference.values_[k] > 0.0,
+  for (std::size_t k = 0; k < size_; ++k) {
+    RRF_REQUIRE(reference.data()[k] > 0.0,
                 "dominant share needs a positive reference capacity");
-    const double ratio = values_[k] / reference.values_[k];
+    const double ratio = data()[k] / reference.data()[k];
     if (ratio > best_ratio) {
       best_ratio = ratio;
       best = k;
@@ -73,13 +73,13 @@ std::size_t ResourceVector::dominant(const ResourceVector& reference) const {
 
 double ResourceVector::dominant_share(const ResourceVector& reference) const {
   const std::size_t k = dominant(reference);
-  return values_[k] / reference.values_[k];
+  return data()[k] / reference.data()[k];
 }
 
 bool ResourceVector::all_le(const ResourceVector& o, double eps) const {
   check_same_size(o);
-  for (std::size_t k = 0; k < values_.size(); ++k) {
-    if (values_[k] > o.values_[k] + eps) return false;
+  for (std::size_t k = 0; k < size_; ++k) {
+    if (data()[k] > o.data()[k] + eps) return false;
   }
   return true;
 }
@@ -89,14 +89,14 @@ bool ResourceVector::all_ge(const ResourceVector& o, double eps) const {
 }
 
 bool ResourceVector::all_nonneg(double eps) const {
-  return std::all_of(values_.begin(), values_.end(),
+  return std::all_of(data(), data() + size_,
                      [eps](double v) { return v >= -eps; });
 }
 
 bool ResourceVector::approx_equal(const ResourceVector& o, double eps) const {
-  if (values_.size() != o.values_.size()) return false;
-  for (std::size_t k = 0; k < values_.size(); ++k) {
-    if (std::abs(values_[k] - o.values_[k]) > eps) return false;
+  if (size_ != o.size_) return false;
+  for (std::size_t k = 0; k < size_; ++k) {
+    if (std::abs(data()[k] - o.data()[k]) > eps) return false;
   }
   return true;
 }
@@ -106,7 +106,7 @@ ResourceVector ResourceVector::elementwise_min(const ResourceVector& a,
   a.check_same_size(b);
   ResourceVector out(a.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    out.values_[k] = std::min(a.values_[k], b.values_[k]);
+    out.data()[k] = std::min(a.data()[k], b.data()[k]);
   }
   return out;
 }
@@ -116,7 +116,7 @@ ResourceVector ResourceVector::elementwise_max(const ResourceVector& a,
   a.check_same_size(b);
   ResourceVector out(a.size());
   for (std::size_t k = 0; k < a.size(); ++k) {
-    out.values_[k] = std::max(a.values_[k], b.values_[k]);
+    out.data()[k] = std::max(a.data()[k], b.data()[k]);
   }
   return out;
 }
@@ -127,7 +127,7 @@ ResourceVector ResourceVector::clamped(const ResourceVector& lo,
   check_same_size(hi);
   ResourceVector out(size());
   for (std::size_t k = 0; k < size(); ++k) {
-    out.values_[k] = std::clamp(values_[k], lo.values_[k], hi.values_[k]);
+    out.data()[k] = std::clamp(data()[k], lo.data()[k], hi.data()[k]);
   }
   return out;
 }
@@ -136,7 +136,7 @@ ResourceVector ResourceVector::surplus_over(const ResourceVector& o) const {
   check_same_size(o);
   ResourceVector out(size());
   for (std::size_t k = 0; k < size(); ++k) {
-    out.values_[k] = std::max(0.0, values_[k] - o.values_[k]);
+    out.data()[k] = std::max(0.0, data()[k] - o.data()[k]);
   }
   return out;
 }
@@ -149,9 +149,9 @@ std::string ResourceVector::to_string(int precision) const {
   std::ostringstream os;
   os.precision(precision);
   os << std::fixed << "<";
-  for (std::size_t k = 0; k < values_.size(); ++k) {
+  for (std::size_t k = 0; k < size_; ++k) {
     if (k != 0) os << ", ";
-    os << values_[k];
+    os << data()[k];
   }
   os << ">";
   return os.str();

@@ -2,10 +2,14 @@
 //
 // This is the central value type of the library: demands, shares,
 // allocations, contributions and capacities are all ResourceVectors.  It is
-// dynamically sized (the algorithms are generic over `p` resource types) but
-// optimised for the common p == 2 case via a small inline buffer.
+// dynamically sized (the algorithms are generic over `p` resource types)
+// and optimised for small arity via an inline buffer: up to
+// kInlineCapacity components live inside the object itself, so the
+// ubiquitous p == 2 temporaries in the allocation hot path never touch
+// the heap.  Larger vectors transparently spill to heap storage.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
@@ -20,33 +24,40 @@ namespace rrf {
 
 class ResourceVector {
  public:
-  /// Zero vector with `p` resource types (default: CPU + RAM).
-  explicit ResourceVector(std::size_t p = kDefaultResourceCount)
-      : values_(p, 0.0) {}
+  /// Components stored inline (no heap allocation) up to this arity.
+  static constexpr std::size_t kInlineCapacity = 4;
 
-  /// Construct from explicit per-type values, e.g. `{6.0, 3.0}`.
-  ResourceVector(std::initializer_list<double> init) : values_(init) {
-    RRF_REQUIRE(!values_.empty(), "a resource vector needs >= 1 type");
+  /// Zero vector with `p` resource types (default: CPU + RAM).
+  explicit ResourceVector(std::size_t p = kDefaultResourceCount) : size_(p) {
+    if (p > kInlineCapacity) heap_.resize(p, 0.0);
   }
 
+  /// Construct from explicit per-type values, e.g. `{6.0, 3.0}`.
+  ResourceVector(std::initializer_list<double> init)
+      : ResourceVector(std::span<const double>(init.begin(), init.size())) {}
+
   /// Construct from an existing range of values.
-  explicit ResourceVector(std::span<const double> init)
-      : values_(init.begin(), init.end()) {
-    RRF_REQUIRE(!values_.empty(), "a resource vector needs >= 1 type");
+  explicit ResourceVector(std::span<const double> init) : size_(init.size()) {
+    RRF_REQUIRE(size_ > 0, "a resource vector needs >= 1 type");
+    if (size_ > kInlineCapacity) {
+      heap_.assign(init.begin(), init.end());
+    } else {
+      for (std::size_t k = 0; k < size_; ++k) inline_[k] = init[k];
+    }
   }
 
   /// Vector with the same value in every component.
   static ResourceVector uniform(std::size_t p, double value);
 
-  std::size_t size() const { return values_.size(); }
+  std::size_t size() const { return size_; }
 
   double operator[](std::size_t k) const {
-    RRF_ASSERT(k < values_.size());
-    return values_[k];
+    RRF_ASSERT(k < size_);
+    return data()[k];
   }
   double& operator[](std::size_t k) {
-    RRF_ASSERT(k < values_.size());
-    return values_[k];
+    RRF_ASSERT(k < size_);
+    return data()[k];
   }
   double operator[](Resource r) const {
     return (*this)[static_cast<std::size_t>(r)];
@@ -55,7 +66,7 @@ class ResourceVector {
     return (*this)[static_cast<std::size_t>(r)];
   }
 
-  std::span<const double> values() const { return values_; }
+  std::span<const double> values() const { return {data(), size_}; }
 
   // ---- arithmetic (element-wise) ----
   ResourceVector& operator+=(const ResourceVector& o);
@@ -75,7 +86,13 @@ class ResourceVector {
   friend ResourceVector operator*(double s, ResourceVector a) { return a *= s; }
   friend ResourceVector operator/(ResourceVector a, double s) { return a /= s; }
 
-  bool operator==(const ResourceVector&) const = default;
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t k = 0; k < a.size_; ++k) {
+      if (a.data()[k] != b.data()[k]) return false;
+    }
+    return true;
+  }
 
   // ---- reductions ----
   /// Sum of all components (e.g. total shares when the vector is in shares).
@@ -113,11 +130,19 @@ class ResourceVector {
 
  private:
   void check_same_size(const ResourceVector& o) const {
-    RRF_REQUIRE(values_.size() == o.values_.size(),
+    RRF_REQUIRE(size_ == o.size_,
                 "resource vectors must have the same arity");
   }
 
-  std::vector<double> values_;
+  double* data() { return size_ <= kInlineCapacity ? inline_.data() : heap_.data(); }
+  const double* data() const {
+    return size_ <= kInlineCapacity ? inline_.data() : heap_.data();
+  }
+
+  std::size_t size_;
+  std::array<double, kInlineCapacity> inline_{};
+  /// Spill storage, used only when size_ > kInlineCapacity.
+  std::vector<double> heap_;
 };
 
 std::ostream& operator<<(std::ostream& os, const ResourceVector& v);

@@ -78,23 +78,32 @@ struct ForContext {
 }  // namespace
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (n == 0) return;
-  if (n == 1) {  // avoid queueing overhead for the trivial case
-    fn(0);
+  if (grain == 0) grain = 1;
+  if (n <= grain || thread_count() <= 1) {
+    // Below the grain (or with nobody to share with) the queue and the
+    // wakeups cost more than they buy: run serially on the caller.
+    // Exceptions propagate directly, same first-error semantics.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   auto ctx = std::make_shared<ForContext>();
   ctx->n = n;
-  ctx->chunks = std::min(n, thread_count() * 4);
+  ctx->chunks = std::min((n + grain - 1) / grain, thread_count() * 4);
   ctx->fn = &fn;  // valid: the caller blocks until all chunks are done
 
+  // More helper tasks than chunks would only wake workers to find the
+  // chunk counter exhausted; the caller participates too, so chunks
+  // helpers is already one more stealer than strictly needed.
+  const std::size_t helpers = std::min(thread_count(), ctx->chunks);
   {
     std::lock_guard lock(mu_);
     RRF_REQUIRE(!stopping_, "parallel_for on a stopped pool");
     // One helper task per worker is enough: each steals chunks in a loop.
-    for (std::size_t t = 0; t < thread_count(); ++t) {
+    for (std::size_t t = 0; t < helpers; ++t) {
       tasks_.push([ctx] { ctx->run(); });
     }
   }

@@ -29,7 +29,13 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n), blocking until every iteration completes.
   /// Exceptions from iterations are rethrown (first one wins) on the caller.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` is the minimum number of iterations per stolen chunk: cheap
+  /// per-iteration bodies should pass a larger grain so chunk-steal
+  /// bookkeeping does not dominate.  When n <= grain the loop runs
+  /// serially on the caller without touching the queue at all.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -69,6 +68,16 @@ struct VmSlot {
 };
 
 /// Per-node simulation state.
+///
+/// Besides the slot list and the hypervisor facade this carries the
+/// node's *allocation scaffolding cache*: the tenant grouping, flat
+/// entity list, pool and capacity share vectors are functions of the
+/// slot membership only, so they are rebuilt exactly when membership
+/// changes (initial placement, live migration) instead of every round.
+/// Each round merely overwrites the per-entity demand values in place.
+/// Per-round scratch buffers live here too so the steady-state round
+/// performs no heap allocation for them; NodeState is touched by one
+/// thread at a time (parallel_for hands each node to one worker).
 struct NodeState {
   std::vector<VmSlot> slots;
   std::unique_ptr<hv::HypervisorNode> hv_node;
@@ -80,100 +89,176 @@ struct NodeState {
   std::array<double, obs::kPhaseCount> phase_seconds{};
   std::size_t alloc_invocations{0};
 
+  // ---- allocation scaffolding (valid while slot membership unchanged) ----
+  /// Sum of the slots' initial shares (the pool the policy arbitrates).
+  ResourceVector pool{kDefaultResourceCount};
+  /// pricing.shares_for(host capacity), fixed per host.
+  ResourceVector capacity_shares{kDefaultResourceCount};
+  /// Flat policies view every VM as one entity (demand refreshed per
+  /// round; initial share and weight are membership-static).
+  std::vector<alloc::AllocationEntity> flat_entities;
+  /// Tenants present on this node, ascending (the order std::map-based
+  /// grouping used to produce, so allocations stay bit-identical).
+  std::vector<std::size_t> tenant_ids;
+  /// Hierarchical grouping: per tenant, its VMs in slot order.
+  std::vector<alloc::TenantGroup> groups;
+  /// Per-group sum of initial shares (IWA-only's static entitlement).
+  std::vector<ResourceVector> group_totals;
+  /// slot index -> (group index, VM index within the group).
+  std::vector<std::pair<std::size_t, std::size_t>> slot_group;
+
+  // ---- per-round scratch ----
+  std::vector<ResourceVector> demand_shares;  // forecast, in shares
+  std::vector<double> residual;
+  std::vector<double> weights;
+  std::vector<ResourceVector> beta_shares;
+  std::vector<double> slot_contributed;
+  std::vector<double> slot_gained;
+  std::vector<double> node_lambda;  // indexed by global tenant id
+
   double& phase_accum(obs::Phase phase) {
     return phase_seconds[static_cast<std::size_t>(phase)];
   }
 };
 
-/// Computes share entitlements for one node and one window.
+/// Rebuilds the allocation scaffolding after slot membership changed.
+void refresh_alloc_cache(NodeState& node, const ResourceVector& host_capacity,
+                         const PricingModel& pricing,
+                         std::size_t tenant_count) {
+  const std::size_t n = node.slots.size();
+
+  node.pool = ResourceVector(kDefaultResourceCount);
+  for (const VmSlot& slot : node.slots) node.pool += slot.initial_share;
+  node.capacity_shares = pricing.shares_for(host_capacity);
+
+  node.flat_entities.assign(n, alloc::AllocationEntity());
+  for (std::size_t i = 0; i < n; ++i) {
+    node.flat_entities[i].initial_share = node.slots[i].initial_share;
+    node.flat_entities[i].weight = node.slots[i].initial_share.sum();
+  }
+
+  node.tenant_ids.clear();
+  for (const VmSlot& slot : node.slots) node.tenant_ids.push_back(slot.tenant);
+  std::sort(node.tenant_ids.begin(), node.tenant_ids.end());
+  node.tenant_ids.erase(
+      std::unique(node.tenant_ids.begin(), node.tenant_ids.end()),
+      node.tenant_ids.end());
+
+  node.groups.assign(node.tenant_ids.size(), alloc::TenantGroup{});
+  node.slot_group.assign(n, {0, 0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = std::lower_bound(node.tenant_ids.begin(),
+                                     node.tenant_ids.end(),
+                                     node.slots[i].tenant);
+    const auto g =
+        static_cast<std::size_t>(it - node.tenant_ids.begin());
+    alloc::AllocationEntity e;
+    e.initial_share = node.slots[i].initial_share;
+    node.slot_group[i] = {g, node.groups[g].vms.size()};
+    node.groups[g].vms.push_back(std::move(e));
+  }
+  node.group_totals.assign(node.groups.size(),
+                           ResourceVector(kDefaultResourceCount));
+  for (std::size_t g = 0; g < node.groups.size(); ++g) {
+    for (const auto& vm : node.groups[g].vms) {
+      node.group_totals[g] += vm.initial_share;
+    }
+  }
+
+  node.demand_shares.assign(n, ResourceVector(kDefaultResourceCount));
+  node.residual.assign(n, 0.0);
+  node.weights.assign(n, 0.0);
+  node.beta_shares.assign(n, ResourceVector(kDefaultResourceCount));
+  node.slot_contributed.assign(n, 0.0);
+  node.slot_gained.assign(n, 0.0);
+  node.node_lambda.assign(tenant_count, 0.0);
+  node.entitlement_shares.assign(n, ResourceVector(kDefaultResourceCount));
+  node.actual_demand.assign(n, ResourceVector(kDefaultResourceCount));
+}
+
+/// Computes share entitlements for one node and one window into
+/// node.entitlement_shares, using the cached scaffolding (the per-entity
+/// demands are refreshed from node.demand_shares in place).
 /// `tenant_banked` (indexed by tenant id) carries the rrf-lt contribution
 /// bank; empty for every other policy.  When `tenant_lambda` is non-null
 /// (indexed by global tenant id) the IRT policies add each tenant's
 /// declared contribution Lambda(i) on this node into it, for the fairness
 /// auditor's reciprocity accounting.
-std::vector<ResourceVector> allocate_entitlements(
-    PolicyKind policy, const ResourceVector& pool_shares,
-    const std::vector<VmSlot>& slots,
-    const std::vector<ResourceVector>& demand_shares,
-    std::span<const double> tenant_banked,
-    std::vector<double>* tenant_lambda = nullptr) {
-  const std::size_t n = slots.size();
+void allocate_entitlements(PolicyKind policy, NodeState& node,
+                           std::span<const double> tenant_banked,
+                           std::vector<double>* tenant_lambda = nullptr) {
+  const std::size_t n = node.slots.size();
 
-  // Flat policies view every VM as one entity.
-  auto flat_entities = [&] {
-    std::vector<alloc::AllocationEntity> entities(n);
+  // Refresh per-round demands in the cached flat entity list.
+  auto refresh_flat = [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      entities[i].initial_share = slots[i].initial_share;
-      entities[i].demand = demand_shares[i];
-      entities[i].weight = slots[i].initial_share.sum();
+      node.flat_entities[i].demand = node.demand_shares[i];
     }
-    return entities;
   };
 
-  // Hierarchical policies group a tenant's VMs (in slot order).
-  auto tenant_groups = [&] {
-    std::map<std::size_t, alloc::TenantGroup> groups;
+  // Refresh per-round demands (and the rrf-lt bank) in the cached groups.
+  auto refresh_groups = [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      alloc::AllocationEntity e;
-      e.initial_share = slots[i].initial_share;
-      e.demand = demand_shares[i];
-      alloc::TenantGroup& group = groups[slots[i].tenant];
-      group.vms.push_back(std::move(e));
-      if (slots[i].tenant < tenant_banked.size()) {
-        group.banked_contribution = tenant_banked[slots[i].tenant];
+      const auto [g, vi] = node.slot_group[i];
+      node.groups[g].vms[vi].demand = node.demand_shares[i];
+    }
+    if (!tenant_banked.empty()) {
+      for (std::size_t g = 0; g < node.groups.size(); ++g) {
+        node.groups[g].banked_contribution =
+            node.tenant_ids[g] < tenant_banked.size()
+                ? tenant_banked[node.tenant_ids[g]]
+                : 0.0;
       }
     }
-    return groups;
   };
 
   // Map grouped VM allocations back to slot order.
-  auto ungroup = [&](const std::map<std::size_t, alloc::TenantGroup>& groups,
-                     const std::vector<std::vector<ResourceVector>>& alloc) {
-    std::map<std::size_t, std::pair<std::size_t, std::size_t>> cursor;
-    std::size_t g = 0;
-    for (const auto& [tenant, group] : groups) {
-      (void)group;
-      cursor[tenant] = {g++, 0};
-    }
-    std::vector<ResourceVector> out(n, ResourceVector(pool_shares.size()));
+  auto ungroup = [&](const std::vector<std::vector<ResourceVector>>& alloc) {
     for (std::size_t i = 0; i < n; ++i) {
-      auto& [gi, vi] = cursor[slots[i].tenant];
-      out[i] = alloc[gi][vi++];
+      const auto [g, vi] = node.slot_group[i];
+      node.entitlement_shares[i] = alloc[g][vi];
     }
-    return out;
   };
 
   switch (policy) {
     case PolicyKind::kTshirt: {
-      std::vector<ResourceVector> out;
-      out.reserve(n);
-      for (const auto& s : slots) out.push_back(s.initial_share);
-      return out;
+      for (std::size_t i = 0; i < n; ++i) {
+        node.entitlement_shares[i] = node.slots[i].initial_share;
+      }
+      return;
     }
     case PolicyKind::kWmmf:
-      return alloc::WmmfAllocator{}.allocate(pool_shares, flat_entities())
-          .allocations;
+      refresh_flat();
+      node.entitlement_shares =
+          alloc::WmmfAllocator{}.allocate(node.pool, node.flat_entities)
+              .allocations;
+      return;
     case PolicyKind::kDrf:
-      return alloc::DrfAllocator{}.allocate(pool_shares, flat_entities())
-          .allocations;
+      refresh_flat();
+      node.entitlement_shares =
+          alloc::DrfAllocator{}.allocate(node.pool, node.flat_entities)
+              .allocations;
+      return;
     case PolicyKind::kDrfSeq:
-      return alloc::SequentialDrfAllocator{}
-          .allocate(pool_shares, flat_entities())
-          .allocations;
+      refresh_flat();
+      node.entitlement_shares =
+          alloc::SequentialDrfAllocator{}
+              .allocate(node.pool, node.flat_entities)
+              .allocations;
+      return;
     case PolicyKind::kIwaOnly: {
       // Tenant entitlement is static (its own shares); IWA moves shares
       // between the tenant's VMs only.
-      const auto groups = tenant_groups();
+      refresh_groups();
       std::vector<std::vector<ResourceVector>> per_group;
-      per_group.reserve(groups.size());
-      for (const auto& [tenant, group] : groups) {
-        (void)tenant;
-        ResourceVector tenant_total(pool_shares.size());
-        for (const auto& vmE : group.vms) tenant_total += vmE.initial_share;
+      per_group.reserve(node.groups.size());
+      for (std::size_t g = 0; g < node.groups.size(); ++g) {
         per_group.push_back(
-            alloc::iwa_distribute(tenant_total, group.vms).allocations);
+            alloc::iwa_distribute(node.group_totals[g], node.groups[g].vms)
+                .allocations);
       }
-      return ungroup(groups, per_group);
+      ungroup(per_group);
+      return;
     }
     case PolicyKind::kRrf:
     case PolicyKind::kRrfSp:
@@ -181,29 +266,22 @@ std::vector<ResourceVector> allocate_entitlements(
       alloc::IrtOptions options;
       options.cap_gain_at_contribution = policy == PolicyKind::kRrfSp;
       const alloc::RrfAllocator rrf{options};
-      const auto groups = tenant_groups();
-      std::vector<alloc::TenantGroup> group_list;
-      group_list.reserve(groups.size());
-      for (const auto& [tenant, group] : groups) {
-        (void)tenant;
-        group_list.push_back(group);
-      }
+      refresh_groups();
       const alloc::HierarchicalResult hr =
-          rrf.allocate_hierarchical(pool_shares, group_list);
+          rrf.allocate_hierarchical(node.pool, node.groups);
       if (tenant_lambda != nullptr) {
-        // groups iterates in ascending tenant id — the same order
-        // group_list (and hence IRT's entity indices) was built in.
-        std::size_t g = 0;
-        for (const auto& [tenant, group] : groups) {
-          (void)group;
-          if (tenant < tenant_lambda->size() &&
+        // tenant_ids is ascending — the same order the groups (and hence
+        // IRT's entity indices) were built in.
+        for (std::size_t g = 0; g < node.tenant_ids.size(); ++g) {
+          if (node.tenant_ids[g] < tenant_lambda->size() &&
               g < hr.tenant_level.contribution_lambda.size()) {
-            (*tenant_lambda)[tenant] += hr.tenant_level.contribution_lambda[g];
+            (*tenant_lambda)[node.tenant_ids[g]] +=
+                hr.tenant_level.contribution_lambda[g];
           }
-          ++g;
         }
       }
-      return ungroup(groups, hr.vm_allocations);
+      ungroup(hr.vm_allocations);
+      return;
     }
   }
   throw DomainError("unhandled policy");
@@ -252,7 +330,11 @@ SimResult run_simulation(const Scenario& scenario,
                  ResourceVector(kDefaultResourceCount), 0});
     }
   }
-  for (std::size_t h = 0; h < host_count; ++h) rebuild_hv(nodes[h], h);
+  for (std::size_t h = 0; h < host_count; ++h) {
+    rebuild_hv(nodes[h], h);
+    refresh_alloc_cache(nodes[h], cl.hosts()[h].capacity, pricing,
+                        tenant_count);
+  }
 
   // ---- per-tenant metrics ----
   SimResult result;
@@ -371,6 +453,8 @@ SimResult run_simulation(const Scenario& scenario,
           // next apply_shares() retargets them within a window or two --
           // the same settling a real live migration incurs.
           rebuild_hv(nodes[h], h);
+          refresh_alloc_cache(nodes[h], cl.hosts()[h].capacity, pricing,
+                              tenant_count);
         }
         result.migrations += plan.migrations.size();
         result.migrated_gb += plan.total_cost_gb;
@@ -429,8 +513,6 @@ SimResult run_simulation(const Scenario& scenario,
       }
 
       // ---- predict: refresh demand forecasts for the round ----
-      node.actual_demand.resize(n);
-      std::vector<ResourceVector> demand_shares(n);
       {
         obs::PhaseScope predict_phase(obs::Phase::kPredict, node_id,
                                       window_id,
@@ -446,24 +528,22 @@ SimResult run_simulation(const Scenario& scenario,
                     ? cl.tenants()[slot.tenant].vms[slot.vm].provisioned
                     : node.slots[i].predictor.predict();
           }
-          demand_shares[i] = pricing.shares_for(forecast);
+          node.demand_shares[i] = pricing.shares_for(forecast);
         }
       }
 
       // The sharing policy arbitrates the pool the tenants collectively
-      // bought on this node; physical head-room beyond it is handled by
-      // the work-conserving surplus pass below.
-      ResourceVector pool(kDefaultResourceCount);
-      for (const VmSlot& slot : node.slots) pool += slot.initial_share;
+      // bought on this node (cached in node.pool); physical head-room
+      // beyond it is handled by the work-conserving surplus pass below.
+      const ResourceVector& pool = node.pool;
 
       // ---- allocate: sharing policy + work-conserving surplus pass ----
       obs::PhaseScope allocate_phase(obs::Phase::kAllocate, node_id,
                                      window_id,
                                      &node.phase_accum(obs::Phase::kAllocate));
-      std::vector<double> node_lambda(tenant_count, 0.0);
-      node.entitlement_shares = allocate_entitlements(
-          config.policy, pool, node.slots, demand_shares, lt_balance,
-          &node_lambda);
+      std::fill(node.node_lambda.begin(), node.node_lambda.end(), 0.0);
+      allocate_entitlements(config.policy, node, lt_balance,
+                            &node.node_lambda);
       if (config.policy != PolicyKind::kTshirt) {
         // Work-conserving surplus pass: physical capacity *nobody paid
         // for* flows to VMs with residual demand in proportion to their
@@ -471,19 +551,17 @@ SimResult run_simulation(const Scenario& scenario,
         // sold pool (e.g. RRF denying free riders) stays idle — the
         // entitlement caps enforce the policy's decision, exactly like
         // the paper's non-work-conserving credit caps.
-        const ResourceVector capacity_shares =
-            pricing.shares_for(cl.hosts()[h].capacity);
-        std::vector<double> residual(n), weights(n);
         for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
           for (std::size_t i = 0; i < n; ++i) {
-            residual[i] = std::max(
-                0.0, demand_shares[i][k] - node.entitlement_shares[i][k]);
-            weights[i] = node.slots[i].initial_share[k];
+            node.residual[i] = std::max(
+                0.0,
+                node.demand_shares[i][k] - node.entitlement_shares[i][k]);
+            node.weights[i] = node.slots[i].initial_share[k];
           }
-          const double surplus = capacity_shares[k] - pool[k];
+          const double surplus = node.capacity_shares[k] - pool[k];
           if (surplus <= 0.0) continue;
           const std::vector<double> extra =
-              alloc::weighted_max_min(surplus, residual, weights);
+              alloc::weighted_max_min(surplus, node.residual, node.weights);
           for (std::size_t i = 0; i < n; ++i) {
             node.entitlement_shares[i][k] += extra[i];
           }
@@ -532,16 +610,19 @@ SimResult run_simulation(const Scenario& scenario,
       // actually consumed of her surplus, plus what she took beyond her
       // share.  Surplus nobody took is not a loss, and over-takes funded
       // by unsold platform head-room are not financed by any tenant.
-      std::vector<ResourceVector> beta_shares(
-          n, ResourceVector(kDefaultResourceCount));
+      // (beta_shares is fully overwritten below; the contributed/gained
+      // accumulators must be re-zeroed each round.)
+      std::vector<ResourceVector>& beta_shares = node.beta_shares;
       // Realized reciprocity flows per slot, for the fairness auditor:
       // shares of this VM's surplus other tenants consumed, and shares it
       // took financed by other tenants' surplus.
-      std::vector<double> slot_contributed(n, 0.0);
-      std::vector<double> slot_gained(n, 0.0);
+      std::fill(node.slot_contributed.begin(), node.slot_contributed.end(),
+                0.0);
+      std::fill(node.slot_gained.begin(), node.slot_gained.end(), 0.0);
+      std::vector<double>& slot_contributed = node.slot_contributed;
+      std::vector<double>& slot_gained = node.slot_gained;
       {
-        const ResourceVector capacity_shares =
-            pricing.shares_for(cl.hosts()[h].capacity);
+        const ResourceVector& capacity_shares = node.capacity_shares;
         for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
           double taken = 0.0, contributed = 0.0;
           for (std::size_t i = 0; i < n; ++i) {
@@ -591,7 +672,7 @@ SimResult run_simulation(const Scenario& scenario,
       {
         std::lock_guard lock(aggregate_mu);
         for (std::size_t t = 0; t < tenant_count; ++t) {
-          tenant_lambda[t] += node_lambda[t];
+          tenant_lambda[t] += node.node_lambda[t];
         }
         for (std::size_t i = 0; i < n; ++i) {
           const VmSlot& slot = node.slots[i];

@@ -1,0 +1,154 @@
+#include "sim/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace rrf::sim {
+
+namespace {
+
+/// Deterministic closed-form demand for one tenant's VMs: per VM j,
+///   demand_k(t) = provisioned_k * clamp(1 + A*sin(2*pi*t/period + phase)
+///                                         + bias, 0.05, 2.0)
+/// with independent phases per resource type so CPU and RAM peaks are
+/// offset (multi-resource trades), and a per-VM bias so some VMs are
+/// persistent contributors and others persistent free riders.
+class SyntheticWorkload final : public wl::Workload {
+ public:
+  SyntheticWorkload(std::string name, std::size_t vm_count,
+                    ResourceVector vm_provisioned, double amplitude,
+                    Seconds period, const Rng& seed_rng)
+      : name_(std::move(name)),
+        vm_provisioned_(std::move(vm_provisioned)),
+        amplitude_(amplitude),
+        period_(period) {
+    const std::size_t p = vm_provisioned_.size();
+    phase_.reserve(vm_count * p);
+    bias_.reserve(vm_count);
+    for (std::size_t j = 0; j < vm_count; ++j) {
+      Rng vm_rng = seed_rng.fork(j);
+      for (std::size_t k = 0; k < p; ++k) {
+        phase_.push_back(vm_rng.uniform(0.0, 2.0 * std::numbers::pi));
+      }
+      bias_.push_back(vm_rng.uniform(-0.35, 0.35));
+    }
+  }
+
+  std::string name() const override { return name_; }
+  wl::WorkloadKind kind() const override {
+    return wl::WorkloadKind::kKernelBuild;  // nearest "steady" archetype
+  }
+  wl::PerfMetric metric() const override {
+    return wl::PerfMetric::kThroughput;
+  }
+
+  ResourceVector demand_at(Seconds t) const override {
+    ResourceVector total(vm_provisioned_.size());
+    for (const ResourceVector& d : vm_demands_at(t)) total += d;
+    return total;
+  }
+
+  std::vector<double> vm_split() const override {
+    return std::vector<double>(bias_.size(),
+                               1.0 / static_cast<double>(bias_.size()));
+  }
+
+  std::vector<ResourceVector> vm_demands_at(Seconds t) const override {
+    const std::size_t p = vm_provisioned_.size();
+    std::vector<ResourceVector> out(bias_.size(), ResourceVector(p));
+    const double omega = 2.0 * std::numbers::pi / period_;
+    for (std::size_t j = 0; j < bias_.size(); ++j) {
+      for (std::size_t k = 0; k < p; ++k) {
+        const double wave =
+            1.0 + amplitude_ * std::sin(omega * t + phase_[j * p + k]) +
+            bias_[j];
+        out[j][k] = vm_provisioned_[k] * std::clamp(wave, 0.05, 2.0);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  ResourceVector vm_provisioned_;
+  double amplitude_;
+  Seconds period_;
+  std::vector<double> phase_;  // [vm * p + k]
+  std::vector<double> bias_;   // [vm]
+};
+
+}  // namespace
+
+Scenario make_synthetic_scenario(const SyntheticConfig& config) {
+  RRF_REQUIRE(config.nodes > 0 && config.vms_per_node > 0,
+              "synthetic scenario needs nodes and vms_per_node > 0");
+  const std::size_t total_vms = config.nodes * config.vms_per_node;
+  RRF_REQUIRE(config.tenants > 0 && config.tenants <= total_vms,
+              "synthetic scenario needs 0 < tenants <= total VMs");
+  RRF_REQUIRE(config.fill > 0.0 && config.amplitude >= 0.0 &&
+                  config.period > 0.0,
+              "bad synthetic demand parameters");
+
+  std::vector<cluster::HostSpec> hosts;
+  hosts.reserve(config.nodes);
+  for (std::size_t h = 0; h < config.nodes; ++h) {
+    hosts.push_back(cluster::paper_host("node" + std::to_string(h)));
+  }
+  const ResourceVector host_capacity = hosts.front().capacity;
+
+  // Every VM is provisioned the same slice of a host, `fill` of capacity
+  // split across the node's VM population.
+  ResourceVector vm_provisioned = host_capacity;
+  vm_provisioned *= config.fill / static_cast<double>(config.vms_per_node);
+  const std::size_t vcpus = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(vm_provisioned[0] / wl::kCoreGhz)));
+
+  // Tenant t owns VMs with global index in [first_vm[t], first_vm[t+1]);
+  // the remainder of an uneven split goes to the earliest tenants.
+  std::vector<std::size_t> vm_count(config.tenants,
+                                    total_vms / config.tenants);
+  for (std::size_t t = 0; t < total_vms % config.tenants; ++t) {
+    ++vm_count[t];
+  }
+
+  Scenario scenario{
+      cluster::Cluster(std::move(hosts), PricingModel::paper_default()),
+      {},
+      {},
+      {}};
+  const Rng root(config.seed);
+  std::size_t global_vm = 0;
+  for (std::size_t t = 0; t < config.tenants; ++t) {
+    cluster::TenantSpec tenant;
+    tenant.name = "syn" + std::to_string(t);
+    std::vector<std::size_t> host_of;
+    host_of.reserve(vm_count[t]);
+    for (std::size_t j = 0; j < vm_count[t]; ++j, ++global_vm) {
+      cluster::VmSpec vm;
+      vm.name = tenant.name + "-vm" + std::to_string(j);
+      vm.vcpus = vcpus;
+      vm.provisioned = vm_provisioned;
+      tenant.vms.push_back(std::move(vm));
+      // Round-robin over hosts: each host ends up with exactly
+      // vms_per_node VMs because total_vms == nodes * vms_per_node.
+      host_of.push_back(global_vm % config.nodes);
+    }
+    scenario.cluster.add_tenant(std::move(tenant));
+    scenario.workloads.push_back(std::make_unique<SyntheticWorkload>(
+        "syn" + std::to_string(t), vm_count[t], vm_provisioned,
+        config.amplitude, config.period, root.fork(1000 + t)));
+    scenario.host_of.push_back(std::move(host_of));
+  }
+  return scenario;
+}
+
+}  // namespace rrf::sim

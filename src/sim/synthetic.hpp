@@ -1,0 +1,41 @@
+// Synthetic benchmark scenarios: exact node / VM / tenant counts with a
+// fully deterministic, closed-form demand signal.
+//
+// The paper-trace scenarios (scenario.hpp) derive VM counts from the four
+// modeled applications, which makes them awkward for scaling sweeps where
+// the benchmark must pin "N nodes x V VMs per node x T tenants" exactly.
+// This builder constructs that shape directly: every host receives exactly
+// `vms_per_node` VMs (round-robin over the global VM index), tenants split
+// the VM population evenly, and each VM's demand is a deterministic
+// sinusoid around its provisioned capacity with a per-VM phase and bias
+// (seeded), so every window has a fresh mix of contributors and free
+// riders for IRT/IWA to arbitrate.  Identical configs always produce
+// bit-identical demand streams — the foundation of both the macro
+// benchmark (bench/rrf_bench) and the golden-output allocation tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scenario.hpp"
+
+namespace rrf::sim {
+
+struct SyntheticConfig {
+  std::size_t nodes = 4;
+  std::size_t vms_per_node = 8;
+  std::size_t tenants = 4;
+  std::uint64_t seed = 42;
+  /// Fraction of each host's capacity sold as provisioned VM capacity.
+  double fill = 0.9;
+  /// Demand swing around the provisioned level (0.7 => demands oscillate
+  /// roughly between 0.3x and 1.7x provisioned before per-VM bias).
+  double amplitude = 0.7;
+  /// Demand oscillation period (seconds).
+  Seconds period = 120.0;
+};
+
+/// Builds the synthetic scenario.  Requires nodes, vms_per_node and
+/// tenants all > 0 and tenants <= nodes * vms_per_node.
+Scenario make_synthetic_scenario(const SyntheticConfig& config);
+
+}  // namespace rrf::sim

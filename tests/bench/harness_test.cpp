@@ -1,0 +1,117 @@
+// Schema and sanity tests for the macro-benchmark harness (bench/harness):
+// the BENCH_rrf.json document it emits must satisfy validate_report_json,
+// parse as strict JSON, and carry self-consistent statistics.
+#include "harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrf;
+
+bench::HarnessConfig tiny_config() {
+  bench::HarnessConfig config;
+  config.policies = {sim::PolicyKind::kTshirt, sim::PolicyKind::kRrf};
+  config.sweep = {{2, 3, 2}};
+  config.warmup = 0;
+  config.trials = 1;
+  config.windows = 3;
+  config.label = "tiny";
+  return config;
+}
+
+TEST(BenchHarness, ProducesOneCellPerPolicyPoint) {
+  const bench::Report report = bench::run_harness(tiny_config());
+  ASSERT_EQ(report.cells.size(), 2u);
+  for (const bench::CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.point.nodes, 2u);
+    EXPECT_EQ(cell.point.vms_per_node, 3u);
+    EXPECT_EQ(cell.windows, 3u);
+    EXPECT_GT(cell.median_round_seconds, 0.0);
+    EXPECT_GE(cell.p95_round_seconds, cell.median_round_seconds);
+    EXPECT_GT(cell.total_wall_seconds, 0.0);
+    EXPECT_GT(cell.allocs_per_second, 0.0);
+    // 2 nodes x 3 windows x 1 trial => allocs/sec consistent with wall.
+    EXPECT_NEAR(cell.allocs_per_second * cell.total_wall_seconds, 6.0, 1e-6);
+  }
+}
+
+TEST(BenchHarness, EmittedJsonPassesSchemaAndParses) {
+  const bench::Report report = bench::run_harness(tiny_config());
+  const json::Value doc = bench::report_to_json(report);
+  EXPECT_NO_THROW(bench::validate_report_json(doc));
+
+  // The serialized form must round-trip through the strict parser and
+  // still satisfy the schema (this is what CI tooling consumes).
+  const json::Value reparsed = json::Value::parse(doc.dump(2));
+  EXPECT_NO_THROW(bench::validate_report_json(reparsed));
+  EXPECT_EQ(reparsed.find("schema_version")->as_number(),
+            bench::kBenchSchemaVersion);
+  EXPECT_EQ(reparsed.find("results")->as_array().size(), 2u);
+  const json::Value& cell = reparsed.find("results")->as_array()[0];
+  EXPECT_EQ(cell.find("policy")->as_string(), "tshirt");
+  EXPECT_EQ(cell.find("nodes")->as_number(), 2.0);
+  ASSERT_NE(cell.find("phase_seconds"), nullptr);
+  EXPECT_NE(cell.find("phase_seconds")->find("allocate"), nullptr);
+}
+
+TEST(BenchHarness, SchemaRejectsBrokenDocuments) {
+  const bench::Report report = bench::run_harness(tiny_config());
+  const std::string good = bench::report_to_json(report).dump();
+
+  // Missing results.
+  EXPECT_THROW(bench::validate_report_json(json::Value::parse(
+                   R"({"schema_version": 1, "generated_by": "x",
+                       "config": {"policies": [], "trials": 1,
+                                  "windows": 1}})")),
+               DomainError);
+  // Unknown policy name inside a cell.
+  std::string bad = good;
+  std::size_t at = 0;
+  std::size_t replaced = 0;
+  while ((at = bad.find("\"rrf\"", at)) != std::string::npos) {
+    bad.replace(at, 5, "\"nope\"");
+    ++replaced;
+  }
+  ASSERT_GT(replaced, 0u);
+  EXPECT_THROW(bench::validate_report_json(json::Value::parse(bad)),
+               DomainError);
+  // Wrong schema version.
+  std::string versioned = good;
+  const std::size_t v = versioned.find("\"schema_version\":1");
+  ASSERT_NE(v, std::string::npos);
+  versioned.replace(v, 18, "\"schema_version\":99");
+  EXPECT_THROW(bench::validate_report_json(json::Value::parse(versioned)),
+               DomainError);
+}
+
+TEST(BenchHarness, QuickConfigCoversPinnedRegressionCell) {
+  const bench::HarnessConfig config = bench::quick_config();
+  EXPECT_FALSE(config.policies.empty());
+  bool has_pinned = false;
+  for (const bench::SweepPoint& p : config.sweep) {
+    if (p.nodes == 32 && p.vms_per_node == 16) has_pinned = true;
+  }
+  EXPECT_TRUE(has_pinned)
+      << "quick sweep must keep the 32x16 cell the CI gate pins";
+}
+
+TEST(BenchHarness, RejectsEmptyConfigs) {
+  bench::HarnessConfig config = tiny_config();
+  config.policies.clear();
+  EXPECT_THROW(bench::run_harness(config), PreconditionError);
+  config = tiny_config();
+  config.trials = 0;
+  EXPECT_THROW(bench::run_harness(config), PreconditionError);
+}
+
+TEST(BenchHarness, SummaryMentionsEveryPolicy) {
+  const bench::Report report = bench::run_harness(tiny_config());
+  const std::string summary = bench::report_summary(report);
+  EXPECT_NE(summary.find("tshirt"), std::string::npos);
+  EXPECT_NE(summary.find("rrf"), std::string::npos);
+}
+
+}  // namespace

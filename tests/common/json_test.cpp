@@ -1,0 +1,93 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using namespace rrf;
+
+TEST(Json, DumpsScalars) {
+  EXPECT_EQ(json::Value(nullptr).dump(), "null");
+  EXPECT_EQ(json::Value(true).dump(), "true");
+  EXPECT_EQ(json::Value(false).dump(), "false");
+  EXPECT_EQ(json::Value(3).dump(), "3");
+  EXPECT_EQ(json::Value(2.5).dump(), "2.5");
+  EXPECT_EQ(json::Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(json::escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  const json::Value v = json::Object{{"z", 1}, {"a", 2}};
+  EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, PrettyPrints) {
+  const json::Value v = json::Object{{"xs", json::Array{1, 2}}};
+  EXPECT_EQ(v.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}\n");
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double d : {0.0, -1.5, 1.0 / 3.0, 1e-300, 12345678901234567.0,
+                         0.1, 6.02214076e23}) {
+    const json::Value parsed = json::Value::parse(json::Value(d).dump());
+    EXPECT_EQ(parsed.as_number(), d);
+  }
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const json::Value v = json::Value::parse(
+      R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}, "e": -3e2})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("a")->as_array()[2].as_string(), "x");
+  EXPECT_TRUE(v.find("b")->find("c")->as_bool());
+  EXPECT_TRUE(v.find("b")->find("d")->is_null());
+  EXPECT_EQ(v.find("e")->as_number(), -300.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  const json::Value original = json::Object{
+      {"name", "rrf"},
+      {"values", json::Array{1, 2, 3}},
+      {"nested", json::Object{{"ok", true}}},
+  };
+  const json::Value reparsed = json::Value::parse(original.dump(2));
+  EXPECT_EQ(reparsed.dump(), original.dump());
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const json::Value v =
+      json::Value::parse(R"("line\n\ttab \"q\" \u0041\u00e9")");
+  EXPECT_EQ(v.as_string(), "line\n\ttab \"q\" A\xC3\xA9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "nul", "01", "1.", "--1", "\"unterm",
+        "[1] garbage", "{\"a\":1,\"a\":2}", "\"\x01\""}) {
+    EXPECT_THROW(json::Value::parse(bad), DomainError) << bad;
+  }
+}
+
+TEST(Json, TypedAccessorsCheckTypes) {
+  const json::Value v = json::Value::parse("[1]");
+  EXPECT_THROW(v.as_object(), DomainError);
+  EXPECT_THROW(v.as_array()[0].as_string(), DomainError);
+  EXPECT_EQ(v.as_array()[0].as_number(), 1.0);
+}
+
+}  // namespace

@@ -62,6 +62,93 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, GrainCoversEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{10'000}}) {
+    constexpr std::size_t n = 1'000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(
+        n, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, GrainAtOrAboveNRunsSeriallyOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(
+      seen.size(), [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+      /*grain=*/seen.size());
+  for (const std::thread::id id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, GrainZeroBehavesLikeGrainOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      50, [&](std::size_t) { count.fetch_add(1); }, /*grain=*/0);
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> count{0};
+  pool.parallel_for(25, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 25);
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromSerialCutoff) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t i) {
+                     if (i == 2) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/8),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterAnIterationThrew) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, NestedOnSamePoolCompletes) {
+  // Re-entrant use of one pool: the inner call's caller-participation
+  // guarantees forward progress even when every worker is busy in the
+  // outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(5, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 15);
+}
+
 TEST(ThreadPool, GlobalPoolIsAlive) {
   EXPECT_GE(global_pool().thread_count(), 1u);
   std::atomic<int> c{0};

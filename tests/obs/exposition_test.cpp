@@ -16,16 +16,29 @@
 namespace rrf::obs {
 namespace {
 
+/// Connects to 127.0.0.1:port, retrying briefly: the accept loop runs on
+/// its own thread, and on a loaded 1-core CI runner a connect can race it.
+int connect_with_retry(std::uint16_t port) {
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (attempt >= 50) return -1;
+    ::usleep(10'000);  // 10 ms; up to ~0.5 s total
+  }
+}
+
 /// Tiny blocking HTTP client: one GET, reads until the server closes.
 std::string http_get(std::uint16_t port, const std::string& target) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  EXPECT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
+  const int fd = connect_with_retry(port);
+  if (fd < 0) {
     ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
     return {};
   }
