@@ -31,6 +31,15 @@ ctest --test-dir build --output-on-failure -L integration
 echo "== release observability tier =="
 ctest --test-dir build --output-on-failure -L obs
 
+echo "== record -> replay smoke =="
+# Record a quick run and replay it through the engine; rrf_inspect exits
+# non-zero unless every replayed allocation is bit-identical.
+smoke_rec="$(mktemp /tmp/rrf-recording-XXXXXX.jsonl)"
+./build/tools/rrf_sim_cli --policy rrf --synthetic 8,8,8 --duration 60 \
+  --record "$smoke_rec" > /dev/null
+./build/tools/rrf_inspect replay "$smoke_rec"
+rm -f "$smoke_rec"
+
 echo "== asan+ubsan build =="
 cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
   -DRRF_SANITIZE=address,undefined "${launcher_flags[@]}"

@@ -1,0 +1,31 @@
+// Alloc-side glue for the flight recorder: capture a single one-shot
+// allocation round ("alloc"-kind recording) and replay it.
+//
+// A one-shot recording models the rrf_alloc_cli workflow (and the paper's
+// worked Table II example): one pseudo host whose capacity is the pool in
+// shares, one tenant per entity, one round.  Capture installs a
+// ProvenanceScope so the IRT hook in irt.cpp records the Algorithm-1
+// breakdown (contribution Lambda, per-type boundary/psi) alongside the
+// final entitlements — which is what rrf_inspect's `explain` renders.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "alloc/entity.hpp"
+#include "obs/flightrec.hpp"
+
+namespace rrf::alloc {
+
+/// Runs `policy_name` on (capacity, entities) and returns the complete
+/// in-memory "alloc" recording (header + one round, no trailer).
+obs::FlightRecording capture_alloc_round(
+    const std::string& policy_name, const ResourceVector& capacity,
+    std::span<const AllocationEntity> entities);
+
+/// Reconstructs the entities from round 0, re-runs the policy and diffs
+/// against the recording with zero tolerance.
+obs::FlightDiffResult replay_alloc_recording(
+    const obs::FlightRecording& recording);
+
+}  // namespace rrf::alloc

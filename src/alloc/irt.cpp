@@ -9,6 +9,7 @@
 #include "alloc/wmmf.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace rrf::alloc {
@@ -319,6 +320,11 @@ AllocationResult IrtAllocator::allocate_traced(
       (*traces)[k].redistributed = std::max(0.0, psi);
     }
 
+    if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
+      sink->irt_types.push_back(
+          obs::ProvenanceIrtType{u, v, std::max(0.0, psi)});
+    }
+
     if (obs::metrics_enabled()) {
       static obs::Histogram& redistributed = obs::metrics().histogram(
           "irt.redistributed_shares", obs::default_magnitude_bounds());
@@ -341,6 +347,20 @@ AllocationResult IrtAllocator::allocate_traced(
         tr.record(e);
       }
     }
+  }
+
+  if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
+    sink->has_irt = true;
+    sink->irt_lambda = lambda;
+    sink->irt_share.clear();
+    sink->irt_demand.clear();
+    sink->irt_share.reserve(m);
+    sink->irt_demand.reserve(m);
+    for (const AllocationEntity& e : entities) {
+      sink->irt_share.push_back(e.initial_share);
+      sink->irt_demand.push_back(e.demand);
+    }
+    sink->irt_grant = result.allocations;
   }
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace rrf::alloc {
@@ -136,6 +137,15 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
         }
       }
     }
+  }
+
+  if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
+    // One entry per call; the caller (hierarchical RRF) invokes this in
+    // group order, so entry order identifies the tenant.
+    obs::ProvenanceIwa captured;
+    captured.vm_grant = out.allocations;
+    captured.headroom = out.headroom;
+    sink->iwa.push_back(std::move(captured));
   }
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 
 namespace rrf::cluster {
 
@@ -100,6 +101,19 @@ RebalancePlan plan_rebalance(
   }
 
   plan.pressure_after = pressures(host_capacity, hosts);
+
+  if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
+    sink->has_rebalance = true;
+    sink->pressure_before = plan.pressure_before;
+    sink->pressure_after = plan.pressure_after;
+    sink->migrations.clear();
+    sink->migrations.reserve(plan.migrations.size());
+    for (const Migration& m : plan.migrations) {
+      sink->migrations.push_back(obs::ProvenanceMigration{
+          vms[m.vm_index].tenant, vms[m.vm_index].vm, m.from, m.to,
+          m.cost_gb});
+    }
+  }
 
   if (obs::metrics_enabled()) {
     static obs::Counter& plans = obs::metrics().counter("rebalance.plans");

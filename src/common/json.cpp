@@ -21,18 +21,19 @@ void append_number(std::string& out, double d) {
     out += "null";
     return;
   }
+  // Round-trip decimal form for a double in at most three probes: 15
+  // significant digits suffice for most values, 17 for every double.  (A
+  // 1..17 probe loop finds marginally shorter strings but costs ~6x more
+  // snprintf/strtod calls, which dominates flight-recorder serialization.)
   char buf[32];
-  // Shortest round-trip decimal form for a double.
-  std::snprintf(buf, sizeof(buf), "%.17g", d);
-  // Trim to the shortest representation that still round-trips.
-  for (int precision = 1; precision < 17; ++precision) {
-    char probe[32];
-    std::snprintf(probe, sizeof(probe), "%.*g", precision, d);
-    if (std::strtod(probe, nullptr) == d) {
-      out += probe;
+  for (const int precision : {15, 16}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) {
+      out += buf;
       return;
     }
   }
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
   out += buf;
 }
 

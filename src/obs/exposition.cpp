@@ -162,6 +162,25 @@ void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
     write_labels(os, pn.labels);
     os << ' ' << h.count << '\n';
   }
+  // Companion summary family per histogram: pre-computed p50/p95/p99 so
+  // dashboards get quantiles without a histogram_quantile() PromQL hop.
+  last_base.clear();
+  for (const auto& [name, h] : snapshot.histograms) {
+    const PrometheusName pn = prometheus_name(name);
+    const std::string base = pn.base + "_summary";
+    maybe_type_line(os, last_base, base, "summary");
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << base;
+      write_labels(os, pn.labels, "quantile", format_le(q));
+      os << ' ' << h.quantile(q) << '\n';
+    }
+    os << base << "_sum";
+    write_labels(os, pn.labels);
+    os << ' ' << h.sum << '\n';
+    os << base << "_count";
+    write_labels(os, pn.labels);
+    os << ' ' << h.count << '\n';
+  }
 }
 
 void write_prometheus(std::ostream& os, const MetricsRegistry& registry) {

@@ -74,28 +74,39 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
-double Histogram::quantile(double q) const {
-  const std::vector<std::uint64_t> counts = bucket_counts();
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> buckets,
+                          std::uint64_t count, double min, double max,
+                          double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(n);
+  const double rank = q * static_cast<double>(count);
   double cumulative = 0.0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    const double next = cumulative + static_cast<double>(counts[i]);
-    if (rank <= next || i + 1 == counts.size()) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (rank <= next || i + 1 == buckets.size()) {
       // Interpolate inside the bucket; the open-ended overflow bucket and
       // the first bucket fall back to their finite edge.
-      const double lo = i == 0 ? std::min(min(), bounds_.empty() ? min() : bounds_[0])
-                               : bounds_[i - 1];
-      const double hi = i < bounds_.size() ? bounds_[i] : max();
-      if (counts[i] == 0) return hi;
-      const double frac = (rank - cumulative) / static_cast<double>(counts[i]);
+      const double lo =
+          i == 0 ? std::min(min, bounds.empty() ? min : bounds[0])
+                 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      if (buckets[i] == 0) return hi;
+      const double frac = (rank - cumulative) / static_cast<double>(buckets[i]);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
     cumulative = next;
   }
-  return max();
+  return max;
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), count(), min(), max(),
+                            q);
+}
+
+double MetricsSnapshot::HistogramData::quantile(double q) const {
+  return histogram_quantile(bounds, buckets, count, min, max, q);
 }
 
 void Histogram::reset() {
@@ -192,6 +203,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     MetricsSnapshot::HistogramData data;
     data.count = h->count();
     data.sum = h->sum();
+    data.min = h->min();
+    data.max = h->max();
     data.bounds = h->bounds();
     data.buckets = h->bucket_counts();
     out.histograms.emplace_back(name, std::move(data));
@@ -226,6 +239,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
        << ", \"min\": " << h->min() << ", \"max\": " << h->max()
        << ", \"mean\": " << h->mean()
        << ", \"p50\": " << h->quantile(0.5)
+       << ", \"p95\": " << h->quantile(0.95)
        << ", \"p99\": " << h->quantile(0.99) << ", \"bounds\": [";
     const auto& bounds = h->bounds();
     for (std::size_t i = 0; i < bounds.size(); ++i) {
@@ -258,6 +272,7 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
     os << "histogram," << name << ",min," << h->min() << "\n";
     os << "histogram," << name << ",max," << h->max() << "\n";
     os << "histogram," << name << ",p50," << h->quantile(0.5) << "\n";
+    os << "histogram," << name << ",p95," << h->quantile(0.95) << "\n";
     os << "histogram," << name << ",p99," << h->quantile(0.99) << "\n";
   }
 }

@@ -98,8 +98,12 @@ struct MetricsSnapshot {
   struct HistogramData {
     std::uint64_t count{0};
     double sum{0.0};
+    double min{0.0};
+    double max{0.0};
     std::vector<double> bounds;
     std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = overflow
+    /// Bucket-interpolated quantile estimate over the snapshotted counts.
+    double quantile(double q) const;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -156,6 +160,15 @@ inline bool metrics_enabled() {
 inline void set_metrics_enabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
+
+/// Shared bucket-interpolation core behind Histogram::quantile and
+/// MetricsSnapshot::HistogramData::quantile: estimates the q-quantile
+/// (q in [0, 1]) from per-bucket counts, using min/max to pin the open
+/// first and overflow buckets.  `buckets` has bounds.size() + 1 entries.
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> buckets,
+                          std::uint64_t count, double min, double max,
+                          double q);
 
 /// Exponential 1 µs … 10 s edges — the default for timing histograms.
 std::span<const double> default_seconds_bounds();

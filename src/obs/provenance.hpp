@@ -1,0 +1,98 @@
+// Per-decision allocation provenance (observability subsystem).
+//
+// The allocators and the rebalancer expose *what* they decided (the final
+// share vectors); answering "why did tenant X get Y shares in round R"
+// additionally needs the intermediate quantities of Algorithm 1 and 2 —
+// the contribution accounting Lambda(i), the per-type boundary/psi
+// redistribution, the intra-tenant IWA flows, the migration plan.  Those
+// live deep inside hot-path code whose signatures must not grow per-call
+// out-parameters, so capture works through a *thread-local sink*: a caller
+// that wants provenance installs a ProvenanceRound via ProvenanceScope
+// around the allocation call, and the instrumented sites (irt.cpp,
+// iwa.cpp, rebalance.cpp) fill it in.  When no sink is installed the hooks
+// are a single thread-local pointer load — the hot path stays
+// allocation-free and branch-predictable.
+//
+// The flight recorder (obs/flightrec.hpp) is the main consumer: the
+// simulation engine installs a sink per node per round and serializes the
+// captured round into the recording.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/resource_vector.hpp"
+
+namespace rrf::obs {
+
+/// One resource type's IRT boundary-search outcome (Algorithm 1 l.9-20).
+struct ProvenanceIrtType {
+  /// Entities ordered before the satisfied/unsatisfied boundary whose
+  /// demand is below their share (the paper's u index, l.9-14).
+  std::size_t contributors{0};
+  /// Entities capped at demand (the boundary v found in l.15).
+  std::size_t capped{0};
+  /// Surplus psi(v) redistributed to the unsatisfied suffix in proportion
+  /// to Lambda (l.16-20); 0 when the pool is overcommitted.
+  double redistributed{0.0};
+};
+
+/// One tenant's IWA distribution (Algorithm 2), in IRT entity order.
+struct ProvenanceIwa {
+  std::vector<ResourceVector> vm_grant;  ///< per VM, in group order
+  ResourceVector headroom{0.0, 0.0};     ///< undistributable per type
+};
+
+/// One planned live migration, resolved to tenant/VM identity.
+struct ProvenanceMigration {
+  std::size_t tenant{0};
+  std::size_t vm{0};
+  std::size_t from{0};
+  std::size_t to{0};
+  double cost_gb{0.0};
+};
+
+/// Capture buffer for one allocation round (one node) or one rebalance
+/// planning pass.  Every section is optional: the IRT fields fill only
+/// when an IRT-family policy ran, the IWA list only when hierarchical
+/// distribution ran, the rebalance fields only under plan_rebalance().
+struct ProvenanceRound {
+  // ---- IRT (Algorithm 1), entity order of the caller ----
+  bool has_irt{false};
+  /// Lambda(i): clamped contribution + banked credit (l.1-8).
+  std::vector<double> irt_lambda;
+  std::vector<ResourceVector> irt_share;   ///< S(i) the search started from
+  std::vector<ResourceVector> irt_demand;  ///< D(i) it arbitrated
+  std::vector<ResourceVector> irt_grant;   ///< S'(i) it produced
+  std::vector<ProvenanceIrtType> irt_types;
+
+  // ---- IWA (Algorithm 2), one entry per iwa_distribute call ----
+  std::vector<ProvenanceIwa> iwa;
+
+  // ---- rebalance planning ----
+  bool has_rebalance{false};
+  std::vector<double> pressure_before;
+  std::vector<double> pressure_after;
+  std::vector<ProvenanceMigration> migrations;
+
+  void clear();
+};
+
+/// The sink installed on this thread, or nullptr (the common case).
+ProvenanceRound* provenance_sink();
+
+/// RAII installer: the constructor makes `round` the thread's sink (clearing
+/// it first; nullptr uninstalls), the destructor restores the previous one.
+/// Scopes nest; each must be destroyed on the thread that created it.
+class ProvenanceScope {
+ public:
+  explicit ProvenanceScope(ProvenanceRound* round);
+  ~ProvenanceScope();
+  ProvenanceScope(const ProvenanceScope&) = delete;
+  ProvenanceScope& operator=(const ProvenanceScope&) = delete;
+
+ private:
+  ProvenanceRound* previous_;
+};
+
+}  // namespace rrf::obs

@@ -4,6 +4,7 @@
 #include <array>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
 
@@ -15,8 +16,10 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 namespace rrf::sim {
@@ -287,6 +290,58 @@ void allocate_entitlements(PolicyKind policy, NodeState& node,
   throw DomainError("unhandled policy");
 }
 
+/// Assembles this node's flight-recorder entry for the window just
+/// processed: per-slot inputs/decisions plus the IRT/IWA provenance the
+/// thread-local sink captured inside allocate_entitlements().  Group
+/// indices are resolved to global tenant ids via node.tenant_ids (the
+/// ascending order the groups were built in).
+obs::FlightNode build_flight_node(std::size_t h, const NodeState& node,
+                                  bool use_actuators,
+                                  const obs::ProvenanceRound& prov) {
+  obs::FlightNode out;
+  out.node = h;
+  const std::size_t n = node.slots.size();
+  out.slots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::FlightSlot slot;
+    slot.tenant = node.slots[i].tenant;
+    slot.vm = node.slots[i].vm;
+    slot.share = node.slots[i].initial_share;
+    slot.demand = node.actual_demand[i];
+    slot.forecast = node.demand_shares[i];
+    slot.entitlement = node.entitlement_shares[i];
+    if (use_actuators) {
+      slot.credit_weight = node.hv_node->scheduler().weight(i);
+      slot.credit_cap = node.hv_node->scheduler().cap(i);
+      slot.mem_target = node.hv_node->memory().target(i);
+    }
+    out.slots.push_back(std::move(slot));
+  }
+  if (prov.has_irt) {
+    out.has_irt = true;
+    out.irt_types = prov.irt_types;
+    out.irt.reserve(prov.irt_lambda.size());
+    for (std::size_t g = 0; g < prov.irt_lambda.size(); ++g) {
+      obs::FlightIrtTenant t;
+      t.tenant = g < node.tenant_ids.size() ? node.tenant_ids[g] : g;
+      t.lambda = prov.irt_lambda[g];
+      t.share = prov.irt_share[g];
+      t.demand = prov.irt_demand[g];
+      t.grant = prov.irt_grant[g];
+      out.irt.push_back(std::move(t));
+    }
+  }
+  out.iwa.reserve(prov.iwa.size());
+  for (std::size_t g = 0; g < prov.iwa.size(); ++g) {
+    obs::FlightIwa w;
+    w.tenant = g < node.tenant_ids.size() ? node.tenant_ids[g] : g;
+    w.vm_grant = prov.iwa[g].vm_grant;
+    w.headroom = prov.iwa[g].headroom;
+    out.iwa.push_back(std::move(w));
+  }
+  return out;
+}
+
 }  // namespace
 
 SimResult run_simulation(const Scenario& scenario,
@@ -401,8 +456,19 @@ SimResult run_simulation(const Scenario& scenario,
     config.recorder->set_tenants(std::move(names));
   }
 
+  // ---- flight recorder (allocation provenance) ----
+  // Per-node capture buffers; each is filled by the one worker thread that
+  // owns the node this window, so no lock is needed.  Everything stays
+  // empty (and the hooks reduce to a thread-local pointer load) when no
+  // recorder is attached.
+  const bool flight_on = config.flight != nullptr;
+  std::vector<obs::ProvenanceRound> node_prov(flight_on ? host_count : 0);
+  std::vector<obs::FlightNode> flight_nodes(flight_on ? host_count : 0);
+  obs::ProvenanceRound rebalance_prov;
+
   for (std::size_t w = 0; w < windows; ++w) {
     const Seconds now = static_cast<double>(w) * config.window;
+    if (flight_on) rebalance_prov.clear();
 
     // ---- epoch-level live migration (load balancing) ----
     if (config.rebalance.enabled && w > 0 &&
@@ -428,8 +494,13 @@ SimResult run_simulation(const Scenario& scenario,
           slot_ref.emplace_back(h, i);
         }
       }
-      const cluster::RebalancePlan plan = cluster::plan_rebalance(
-          capacities, loads, config.rebalance.options);
+      cluster::RebalancePlan plan;
+      {
+        std::optional<obs::ProvenanceScope> scope;
+        if (flight_on) scope.emplace(&rebalance_prov);
+        plan = cluster::plan_rebalance(capacities, loads,
+                                       config.rebalance.options);
+      }
       if (!plan.empty()) {
         std::vector<std::size_t> destination(loads.size());
         for (std::size_t r = 0; r < loads.size(); ++r) {
@@ -542,8 +613,12 @@ SimResult run_simulation(const Scenario& scenario,
                                      window_id,
                                      &node.phase_accum(obs::Phase::kAllocate));
       std::fill(node.node_lambda.begin(), node.node_lambda.end(), 0.0);
-      allocate_entitlements(config.policy, node, lt_balance,
-                            &node.node_lambda);
+      {
+        std::optional<obs::ProvenanceScope> prov_scope;
+        if (flight_on) prov_scope.emplace(&node_prov[h]);
+        allocate_entitlements(config.policy, node, lt_balance,
+                              &node.node_lambda);
+      }
       if (config.policy != PolicyKind::kTshirt) {
         // Work-conserving surplus pass: physical capacity *nobody paid
         // for* flows to VMs with residual demand in proportion to their
@@ -697,6 +772,11 @@ SimResult run_simulation(const Scenario& scenario,
       }
       settle_phase.stop();
 
+      if (flight_on) {
+        flight_nodes[h] =
+            build_flight_node(h, node, config.use_actuators, node_prov[h]);
+      }
+
       if (obs::tracing_enabled()) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::kAllocRoundEnd;
@@ -711,6 +791,27 @@ SimResult run_simulation(const Scenario& scenario,
       global_pool().parallel_for(host_count, process_node);
     } else {
       for (std::size_t h = 0; h < host_count; ++h) process_node(h);
+    }
+
+    if (flight_on) {
+      obs::FlightRound round;
+      round.round = w;
+      round.time = now;
+      if (rebalance_prov.has_rebalance) {
+        round.pressure_before = rebalance_prov.pressure_before;
+        round.pressure_after = rebalance_prov.pressure_after;
+        round.migrations.reserve(rebalance_prov.migrations.size());
+        for (const obs::ProvenanceMigration& m : rebalance_prov.migrations) {
+          round.migrations.push_back(
+              obs::FlightMigration{m.tenant, m.vm, m.from, m.to, m.cost_gb});
+        }
+      }
+      round.nodes.reserve(host_count);
+      for (std::size_t h = 0; h < host_count; ++h) {
+        if (nodes[h].slots.empty()) continue;
+        round.nodes.push_back(std::move(flight_nodes[h]));
+      }
+      config.flight->record_round(round);
     }
 
     for (std::size_t t = 0; t < tenant_count; ++t) {

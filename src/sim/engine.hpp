@@ -21,6 +21,10 @@
 #include "sim/scenario.hpp"
 #include "workload/perf_model.hpp"
 
+namespace rrf::obs {
+class FlightRecorder;
+}  // namespace rrf::obs
+
 namespace rrf::sim {
 
 enum class PolicyKind {
@@ -103,6 +107,13 @@ struct EngineConfig {
   /// and allocation ratio series plus perf scores).  Not owned; must
   /// outlive the run.  Recorded regardless of the metrics switch.
   obs::TimeSeriesRecorder* recorder = nullptr;
+  /// Optional flight recorder (obs/flightrec.hpp): the engine appends one
+  /// round per window with per-slot demand/forecast/entitlement/actuator
+  /// targets plus the IRT/IWA/rebalance provenance.  The caller writes the
+  /// header (sim/flight_replay.hpp's make_flight_header) before the run
+  /// and calls finish() after.  Not owned; nullptr disables capture and
+  /// keeps the hot path allocation-free.
+  obs::FlightRecorder* flight = nullptr;
   /// Optional per-window callback (custom metrics, live dashboards,
   /// convergence studies).  Called on the simulation thread after every
   /// window; must not throw.

@@ -160,6 +160,76 @@ TEST(ObsAudit, BetaDriftHysteresisRaisesOncePerExcursion) {
   EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 2u);
 }
 
+TEST(ObsAudit, WarmupBoundaryArmsOnTheFirstPostWarmupRound) {
+  // With warmup_windows = W, rounds 0..W-1 are suppressed and round W is
+  // the first that can raise — off-by-one here silently eats alerts.
+  MetricsRegistry registry;
+  AuditConfig config = quiet_config();
+  config.warmup_windows = 2;
+  config.jain_min = 0.85;
+  FairnessAuditor auditor(config, {"a", "b"}, {100.0, 100.0}, &registry);
+
+  feed(auditor, 0, {10.0, 190.0}, {100.0, 100.0});
+  feed(auditor, 1, {10.0, 190.0}, {100.0, 100.0});
+  EXPECT_TRUE(auditor.alerts().empty());
+  EXPECT_EQ(auditor.active_alerts(), 0u);
+
+  feed(auditor, 2, {10.0, 190.0}, {100.0, 100.0});
+  ASSERT_EQ(auditor.alert_count(AlertKind::kJain), 1u);
+  EXPECT_EQ(auditor.alerts().back().window, 2u);
+}
+
+TEST(ObsAudit, BetaDriftExactlyAtThresholdDoesNotRaise) {
+  // The violation comparison is strict: drift == beta_drift_max is still
+  // compliant, only crossing beyond it raises.  Thresholds and positions
+  // are chosen to be exactly representable in binary floating point.
+  MetricsRegistry registry;
+  AuditConfig config = quiet_config();
+  config.beta_drift_max = 0.25;
+  FairnessAuditor auditor(config, {"a"}, {100.0}, &registry);
+
+  feed(auditor, 0, {125.0}, {100.0});  // beta 1.25, drift == 0.25 exactly
+  EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 0u);
+  EXPECT_EQ(auditor.active_alerts(), 0u);
+
+  // Cumulative beta 260/200 = 1.3 → drift ≈ 0.3 > 0.25: first crossing.
+  feed(auditor, 1, {135.0}, {100.0});
+  EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 1u);
+  EXPECT_EQ(auditor.alerts().back().window, 1u);
+}
+
+TEST(ObsAudit, BetaDriftClearsOnlyPastTheHysteresisMargin) {
+  // Clear threshold is beta_drift_max * (1 - hysteresis) = 0.125: a drift
+  // inside (0.125, 0.25] keeps the alert active without re-raising, and
+  // drift == 0.125 exactly is the first value that clears it.
+  MetricsRegistry registry;
+  AuditConfig config = quiet_config();
+  config.beta_drift_max = 0.25;
+  config.hysteresis = 0.5;
+  FairnessAuditor auditor(config, {"a"}, {100.0}, &registry);
+
+  feed(auditor, 0, {125.0}, {100.0});   // drift 0.25: at threshold, quiet
+  feed(auditor, 1, {135.0}, {100.0});   // cumulative drift ~0.3: raises
+  ASSERT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 1u);
+  EXPECT_EQ(auditor.active_alerts(), 1u);
+
+  // Cumulative beta 356.25/300 = 1.1875 → drift 0.1875, inside the
+  // hysteresis band: still active, no second raise.
+  feed(auditor, 2, {96.25}, {100.0});
+  EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 1u);
+  EXPECT_EQ(auditor.active_alerts(), 1u);
+
+  // Cumulative beta 450/400 = 1.125 → drift 0.125 == the margin: clears.
+  feed(auditor, 3, {93.75}, {100.0});
+  EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 1u);
+  EXPECT_EQ(auditor.active_alerts(), 0u);
+
+  // A fresh excursion (cumulative beta 650/500 = 1.3) raises again.
+  feed(auditor, 4, {200.0}, {100.0});
+  EXPECT_EQ(auditor.alert_count(AlertKind::kBetaDrift), 2u);
+  EXPECT_EQ(auditor.active_alerts(), 1u);
+}
+
 TEST(ObsAudit, ReciprocityFlagsFreeRidersNotContributors) {
   MetricsRegistry registry;
   AuditConfig config = quiet_config();

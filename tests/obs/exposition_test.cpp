@@ -122,6 +122,37 @@ TEST(ObsExposition, WritePrometheusRendersAllInstrumentKinds) {
             std::string::npos);
   EXPECT_NE(text.find("rrf_latency_sum 7\n"), std::string::npos);
   EXPECT_NE(text.find("rrf_latency_count 3\n"), std::string::npos);
+
+  // Every histogram also exports a companion summary family with
+  // pre-computed p50/p95/p99 quantiles.
+  EXPECT_NE(text.find("# TYPE rrf_latency_summary summary\n"),
+            std::string::npos);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    std::ostringstream needle;
+    needle << "rrf_latency_summary{quantile=\"" << q << "\"} "
+           << h.quantile(q) << '\n';
+    EXPECT_NE(text.find(needle.str()), std::string::npos) << needle.str();
+  }
+  EXPECT_NE(text.find("rrf_latency_summary_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rrf_latency_summary_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExposition, SummaryQuantilesKeepTheirLabels) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram(
+      labeled("phase.seconds", {{"phase", "allocate"}}),
+      default_seconds_bounds());
+  for (int i = 0; i < 10; ++i) h.observe(2e-3);
+
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find("rrf_phase_seconds_summary{phase=\"allocate\",quantile="),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rrf_phase_seconds_summary_count{phase=\"allocate\"}"),
+            std::string::npos);
 }
 
 TEST(ObsExposition, LabelValuesAreEscaped) {

@@ -79,6 +79,30 @@ TEST(ObsMetrics, HistogramQuantileInterpolates) {
   EXPECT_EQ(h.quantile(0.0), 1.0);
 }
 
+TEST(ObsMetrics, SnapshotQuantileMatchesTheLiveHistogram) {
+  MetricsRegistry registry;
+  const std::array<double, 4> bounds = {1.0, 2.0, 4.0, 8.0};
+  Histogram& h = registry.histogram("test.snapq", bounds);
+  for (int i = 0; i < 90; ++i) h.observe(1.5);
+  for (int i = 0; i < 9; ++i) h.observe(3.0);
+  h.observe(20.0);  // overflow bucket
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const MetricsSnapshot::HistogramData& data = snapshot.histograms[0].second;
+  EXPECT_EQ(data.count, 100u);
+  EXPECT_DOUBLE_EQ(data.min, 1.5);
+  EXPECT_DOUBLE_EQ(data.max, 20.0);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(data.quantile(q), h.quantile(q)) << "q=" << q;
+  }
+  // p95 lands in the (2, 4] bucket, p99 in the overflow (capped at max).
+  EXPECT_GT(data.quantile(0.95), 2.0);
+  EXPECT_LE(data.quantile(0.95), 4.0);
+  EXPECT_GT(data.quantile(0.999), 8.0);
+  EXPECT_LE(data.quantile(0.999), 20.0);
+}
+
 TEST(ObsMetrics, GaugeLastWriteWins) {
   MetricsRegistry registry;
   Gauge& g = registry.gauge("test.level");
@@ -125,6 +149,9 @@ TEST(ObsMetrics, JsonExportContainsEveryInstrument) {
   EXPECT_NE(json.find("\"h.one\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 TEST(ObsMetrics, CsvExportHasHeaderAndRows) {
@@ -137,6 +164,7 @@ TEST(ObsMetrics, CsvExportHasHeaderAndRows) {
   EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
   EXPECT_NE(csv.find("counter,c.two,value,5"), std::string::npos);
   EXPECT_NE(csv.find("histogram,h.two,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.two,p95,"), std::string::npos);
 }
 
 TEST(ObsMetrics, RuntimeSwitchDefaultsOffAndRoundTrips) {

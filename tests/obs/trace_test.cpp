@@ -55,6 +55,41 @@ TEST(ObsTrace, RingWrapsAroundKeepingTheNewest) {
   }
 }
 
+TEST(ObsTrace, JsonlExportAfterWrapHoldsExactlyTheSurvivors) {
+  // After the ring wraps, the JSONL export must contain exactly the
+  // surviving (newest) events, oldest first — not stale pre-wrap slots.
+  EventTracer tracer_(8);
+  for (int i = 0; i < 21; ++i) {
+    tracer_.record(make_event(EventKind::kIrtTrade, i));
+  }
+  EXPECT_EQ(tracer_.recorded(), 21u);
+  EXPECT_EQ(tracer_.dropped(), 13u);
+
+  std::stringstream buffer;
+  tracer_.write_jsonl(buffer);
+  const auto parsed = EventTracer::read_jsonl(buffer);
+  ASSERT_EQ(parsed.size(), 8u);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, EventKind::kIrtTrade);
+    EXPECT_EQ(parsed[i].window, static_cast<std::int32_t>(13 + i));
+    EXPECT_DOUBLE_EQ(parsed[i].value, 4.5);
+    if (i > 0) {
+      EXPECT_GE(parsed[i].ts_us, parsed[i - 1].ts_us);
+    }
+  }
+
+  // A second wrap cycle after the export keeps the accounting exact.
+  for (int i = 21; i < 30; ++i) {
+    tracer_.record(make_event(EventKind::kIwaAdjust, i));
+  }
+  std::stringstream buffer2;
+  tracer_.write_jsonl(buffer2);
+  const auto parsed2 = EventTracer::read_jsonl(buffer2);
+  ASSERT_EQ(parsed2.size(), 8u);
+  EXPECT_EQ(parsed2.front().window, 22);
+  EXPECT_EQ(parsed2.back().window, 29);
+}
+
 TEST(ObsTrace, ClearEmptiesTheRing) {
   EventTracer tracer_(8);
   tracer_.record(make_event(EventKind::kMigration, 0));

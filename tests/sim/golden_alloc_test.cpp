@@ -23,7 +23,9 @@
 #include "alloc/iwa.hpp"
 #include "alloc/rrf.hpp"
 #include "common/rng.hpp"
+#include "obs/flightrec.hpp"
 #include "sim/engine.hpp"
+#include "sim/flight_replay.hpp"
 #include "sim/synthetic.hpp"
 
 namespace {
@@ -216,6 +218,51 @@ TEST(GoldenAlloc, MatchesCheckedInGolden) {
     ASSERT_EQ(expected[i], lines[i])
         << "first mismatch at golden line " << (i + 1)
         << " — allocations are no longer bit-identical";
+  }
+}
+
+// Attaching a flight recorder must leave the golden capture bit-identical:
+// provenance collection stays off the allocation path.
+TEST(GoldenAlloc, EngineCaptureIsIdenticalWithRecordingEnabled) {
+  sim::SyntheticConfig syn;
+  syn.nodes = 3;
+  syn.vms_per_node = 5;
+  syn.tenants = 4;
+  syn.seed = 77;
+  const sim::Scenario scenario = sim::make_synthetic_scenario(syn);
+
+  auto capture = [&](bool record) {
+    sim::EngineConfig config;
+    config.policy = sim::PolicyKind::kRrf;
+    config.window = 5.0;
+    config.duration = 30.0;
+    config.use_actuators = true;
+    config.parallel_nodes = false;
+    config.audit.enabled = false;
+    std::vector<std::string> lines;
+    config.observer = [&](const sim::WindowSnapshot& snapshot) {
+      for (std::size_t t = 0; t < snapshot.tenant_position.size(); ++t) {
+        lines.push_back("w" + std::to_string(snapshot.window) + " t" +
+                        std::to_string(t) + " " +
+                        hex(snapshot.tenant_position[t]));
+      }
+    };
+    std::ostringstream sink;
+    obs::FlightRecorder recorder(sink);
+    if (record) {
+      recorder.write_header(sim::make_flight_header(scenario, config));
+      config.flight = &recorder;
+    }
+    sim::run_simulation(scenario, config);
+    return lines;
+  };
+
+  const std::vector<std::string> detached = capture(false);
+  const std::vector<std::string> attached = capture(true);
+  ASSERT_EQ(detached.size(), attached.size());
+  ASSERT_FALSE(detached.empty());
+  for (std::size_t i = 0; i < detached.size(); ++i) {
+    ASSERT_EQ(detached[i], attached[i]) << "line " << i;
   }
 }
 

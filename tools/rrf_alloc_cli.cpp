@@ -11,7 +11,9 @@
 
 #include "alloc/entity_io.hpp"
 #include "alloc/factory.hpp"
+#include "alloc/flight_capture.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -26,6 +28,9 @@ using namespace rrf;
       "  --policy    tshirt|wmmf|drf|drf-seq|irt|rrf|rrf-sp (default rrf)\n"
       "  --capacity  pool capacity per resource type, comma separated\n"
       "              (same arity as the CSV's share/demand columns)\n"
+      "  --record <path>   capture a schema-v1 flight recording (JSONL) of\n"
+      "                    the round, including the IRT Algorithm-1 trace;\n"
+      "                    replay/explain it with rrf_inspect\n"
       "  --trace <path>    record allocation events; Chrome trace JSON, or\n"
       "                    JSONL if the path ends in .jsonl\n"
       "  --metrics <path>  write a metrics snapshot; JSON, or CSV/.prom by\n"
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
   std::string policy_name = "rrf";
   std::string capacity_text;
   std::string input_path;
+  std::string record_path;
   std::string trace_path;
   std::string metrics_path;
 
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--policy") policy_name = next();
     else if (arg == "--capacity") capacity_text = next();
+    else if (arg == "--record") record_path = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--metrics") metrics_path = next();
     else if (input_path.empty()) input_path = arg;
@@ -127,6 +134,21 @@ int main(int argc, char** argv) {
     std::cout << "policy: " << policy_name << ", capacity "
               << capacity.to_string(0) << "\n"
               << alloc::format_result(entities, result);
+    if (!record_path.empty()) {
+      // Re-running the (deterministic) policy under a provenance scope
+      // yields the same entitlements plus the IRT Algorithm-1 breakdown.
+      const obs::FlightRecording recording =
+          alloc::capture_alloc_round(policy_name, capacity, entities);
+      std::ofstream out(record_path);
+      if (!out) {
+        std::cerr << "cannot open " << record_path << " for writing\n";
+        return 1;
+      }
+      obs::FlightRecorder recorder(out);
+      recorder.write_recording(recording);
+      std::cout << "wrote " << record_path << " ("
+                << recorder.bytes_written() << " bytes)\n";
+    }
     write_observability_outputs(trace_path, metrics_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

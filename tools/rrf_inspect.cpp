@@ -1,0 +1,162 @@
+// rrf_inspect — provenance tooling over flight recordings (schema v1).
+//
+//   rrf_inspect replay  <recording.jsonl>              # verify determinism
+//   rrf_inspect diff    <a.jsonl> <b.jsonl> [--epsilon <f>]
+//   rrf_inspect explain <recording.jsonl> --round <n> --tenant <name|idx>
+//                       [--node <n>]
+//
+// `replay` re-runs the recording through the deterministic engine (or the
+// one-shot allocation path for "alloc" recordings) and exits non-zero if
+// any allocation diverges.  `diff` compares two recordings round by round
+// and reports the first divergence plus per-tenant entitlement deltas.
+// `explain` prints the full decision chain for one round + tenant: demand
+// → prediction → IRT contribution/gain (Algorithm 1 line references) →
+// IWA flows → final entitlement and actuator targets.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flightrec.hpp"
+#include "sim/flight_replay.hpp"
+
+namespace {
+
+using namespace rrf;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "rrf_inspect — replay / diff / explain flight recordings (RRF)\n\n"
+      "  rrf_inspect replay  <recording.jsonl>\n"
+      "      re-run the recording through the engine; exit 1 if any\n"
+      "      allocation differs from what was recorded\n\n"
+      "  rrf_inspect diff    <a.jsonl> <b.jsonl> [--epsilon <f>]\n"
+      "      compare two recordings round by round; report the first\n"
+      "      divergence and per-tenant entitlement deltas (exit 1 when\n"
+      "      they differ beyond the tolerance, default 0 = bit-exact)\n\n"
+      "  rrf_inspect explain <recording.jsonl> --round <n>\n"
+      "                      --tenant <name|index> [--node <n>]\n"
+      "      print the decision chain for one round + tenant: demand,\n"
+      "      prediction, IRT contribution trading (Algorithm 1 lines),\n"
+      "      IWA flows, final entitlement and actuator targets\n";
+  std::exit(code);
+}
+
+std::string format_num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+void print_diff(const obs::FlightDiffResult& diff) {
+  for (const std::string& note : diff.notes) {
+    std::cout << "note: " << note << "\n";
+  }
+  if (diff.identical) {
+    std::cout << "identical: " << diff.rounds_compared
+              << " round(s) compared, every field bit-exact\n";
+    return;
+  }
+  if (diff.first_divergent_round.has_value()) {
+    std::cout << "first divergence at round " << *diff.first_divergent_round
+              << ": " << diff.first_divergence << "\n";
+  } else if (!diff.first_divergence.empty()) {
+    std::cout << "divergence: " << diff.first_divergence << "\n";
+  }
+  if (!diff.tenant_deltas.empty()) {
+    std::cout << "per-tenant entitlement deltas over "
+              << diff.rounds_compared << " compared round(s):\n";
+    for (const obs::FlightTenantDelta& d : diff.tenant_deltas) {
+      std::cout << "  " << (d.name.empty() ? "#" + std::to_string(d.tenant)
+                                           : d.name)
+                << ": max |delta| " << format_num(d.max_abs)
+                << " shares, total |delta| " << format_num(d.total_abs)
+                << "\n";
+    }
+  }
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage(2);
+  const obs::FlightRecording recording = obs::FlightRecording::load_file(
+      args[0]);
+  const sim::ReplayResult result = sim::replay_recording(recording);
+  for (const std::string& warning : result.warnings) {
+    std::cout << "warning: " << warning << "\n";
+  }
+  std::cout << "replayed " << result.rounds_replayed << " round(s) of "
+            << recording.header.kind << "-kind recording (policy "
+            << recording.header.policy << ")\n";
+  print_diff(result.diff);
+  return result.diff.identical ? 0 : 1;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  double epsilon = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--epsilon") {
+      if (i + 1 >= args.size()) usage(2);
+      epsilon = std::stod(args[++i]);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) usage(2);
+  const obs::FlightRecording a = obs::FlightRecording::load_file(paths[0]);
+  const obs::FlightRecording b = obs::FlightRecording::load_file(paths[1]);
+  const obs::FlightDiffResult diff = obs::diff_recordings(a, b, epsilon);
+  print_diff(diff);
+  return diff.identical ? 0 : 1;
+}
+
+int cmd_explain(const std::vector<std::string>& args) {
+  std::string path;
+  obs::ExplainQuery query;
+  bool have_round = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) usage(2);
+      return args[++i];
+    };
+    if (args[i] == "--round") {
+      query.round = std::stoul(next());
+      have_round = true;
+    } else if (args[i] == "--tenant") {
+      query.tenant = next();
+    } else if (args[i] == "--node") {
+      query.node = std::stoul(next());
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      usage(2);
+    }
+  }
+  if (path.empty() || query.tenant.empty()) usage(2);
+  if (!have_round) query.round = 0;
+  const obs::FlightRecording recording =
+      obs::FlightRecording::load_file(path);
+  std::cout << obs::explain_decision(recording, query);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  const std::string verb = argv[1];
+  if (verb == "--help" || verb == "-h") usage(0);
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (verb == "replay") return cmd_replay(args);
+    if (verb == "diff") return cmd_diff(args);
+    if (verb == "explain") return cmd_explain(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown subcommand: " << verb << "\n";
+  usage(2);
+}

@@ -24,8 +24,11 @@
 #include "core/experiments.hpp"
 #include "obs/audit.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/flight_replay.hpp"
+#include "sim/synthetic.hpp"
 #include "workload/profile.hpp"
 #include "workload/replay.hpp"
 
@@ -49,9 +52,14 @@ struct CliOptions {
   /// CSV demand traces to replay as extra tenants (repeatable flag).
   std::vector<std::string> replays;
   bool sliced = false;
+  /// Synthetic scenario spec "nodes,vms_per_node,tenants[,seed]"; empty =
+  /// paper-trace scenario (see --workloads / --fill).
+  std::string synthetic;
   /// Observability outputs (empty = the subsystem stays disabled).
   std::string trace_path;
   std::string metrics_path;
+  /// Flight-recorder output (JSONL); empty = recording off.
+  std::string record_path;
   /// Live Prometheus exposition: port to serve /metrics on (-1 = off,
   /// 0 = ephemeral).
   int serve_port = -1;
@@ -79,7 +87,13 @@ struct CliOptions {
       "  --replay <path>     add a tenant replaying a CSV demand trace\n"
       "                      (t_seconds,cpu_ghz,ram_gb; repeatable)\n"
       "  --sliced            slice-level credit-scheduler dispatch\n"
+      "  --synthetic <spec>  use the synthetic scenario instead of paper\n"
+      "                      traces; spec is nodes,vms_per_node,tenants\n"
+      "                      with an optional trailing ,seed\n"
       "  --csv <path>        write per-tenant results as CSV\n"
+      "  --record <path>     capture a schema-v1 flight recording (JSONL)\n"
+      "                      of every allocation round; verify/diff/inspect\n"
+      "                      it with rrf_inspect (single policy only)\n"
       "  --trace <path>      record allocation events; writes Chrome trace\n"
       "                      JSON (open in chrome://tracing), or JSONL if\n"
       "                      the path ends in .jsonl\n"
@@ -131,7 +145,9 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--memory") options.memory = next(i);
     else if (arg == "--replay") options.replays.push_back(next(i));
     else if (arg == "--sliced") options.sliced = true;
+    else if (arg == "--synthetic") options.synthetic = next(i);
     else if (arg == "--csv") options.csv = next(i);
+    else if (arg == "--record") options.record_path = next(i);
     else if (arg == "--trace") options.trace_path = next(i);
     else if (arg == "--metrics") options.metrics_path = next(i);
     else if (arg == "--serve-metrics") options.serve_port = std::stoi(next(i));
@@ -152,7 +168,28 @@ CliOptions parse(int argc, char** argv) {
     std::cerr << "no workloads given\n";
     usage(2);
   }
+  if (!options.record_path.empty() && options.policy == "all") {
+    std::cerr << "--record captures one run; pick a single --policy\n";
+    usage(2);
+  }
   return options;
+}
+
+sim::SyntheticConfig parse_synthetic(const std::string& spec) {
+  std::vector<std::uint64_t> values;
+  std::stringstream ss(spec);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) values.push_back(std::stoull(cell));
+  if (values.size() < 3 || values.size() > 4) {
+    std::cerr << "--synthetic wants nodes,vms_per_node,tenants[,seed]\n";
+    usage(2);
+  }
+  sim::SyntheticConfig config;
+  config.nodes = values[0];
+  config.vms_per_node = values[1];
+  config.tenants = values[2];
+  if (values.size() == 4) config.seed = values[3];
+  return config;
 }
 
 sim::EngineConfig engine_config(const CliOptions& options) {
@@ -256,6 +293,9 @@ int main(int argc, char** argv) {
   }
 
   sim::Scenario scenario = [&] {
+    if (!options.synthetic.empty()) {
+      return sim::make_synthetic_scenario(parse_synthetic(options.synthetic));
+    }
     if (options.fill) {
       return sim::fill_scenario(options.hosts, options.workloads,
                                 options.alpha, options.seed);
@@ -307,9 +347,20 @@ int main(int argc, char** argv) {
   std::vector<std::vector<std::string>> csv;
   csv.push_back({"policy", "tenant", "beta", "perf"});
 
+  std::ofstream record_out;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!options.record_path.empty()) {
+    record_out = open_output(options.record_path);
+    recorder = std::make_unique<obs::FlightRecorder>(record_out);
+  }
+
   for (const sim::PolicyKind policy : policies) {
     sim::EngineConfig config = engine;
     config.policy = policy;
+    if (recorder) {
+      recorder->write_header(sim::make_flight_header(scenario, config));
+      config.flight = recorder.get();
+    }
     const sim::SimResult result = sim::run_simulation(scenario, config);
 
     TextTable table(sim::to_string(policy));
@@ -335,6 +386,19 @@ int main(int argc, char** argv) {
     std::cout << "\n";
   }
 
+  if (recorder) {
+    recorder->finish();
+    std::cout << "wrote " << options.record_path << " ("
+              << recorder->rounds_recorded() << " rounds, "
+              << recorder->bytes_written() << " bytes, "
+              << TextTable::num(recorder->record_seconds() * 1e3, 2)
+              << " ms record time";
+    if (recorder->rounds_dropped() > 0) {
+      std::cout << ", " << recorder->rounds_dropped()
+                << " rounds dropped to byte budget";
+    }
+    std::cout << ")\n";
+  }
   if (!options.csv.empty()) {
     write_csv(options.csv, csv);
     std::cout << "wrote " << options.csv << "\n";
