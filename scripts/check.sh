@@ -59,4 +59,11 @@ fi
 echo "== formatting + hygiene =="
 bash scripts/format_check.sh
 
+echo "== lint =="
+bash scripts/lint_check.sh
+
+echo "== property verifier =="
+./build/tools/rrf_verify --seeds 10 --quiet \
+  --out "$(mktemp /tmp/rrf-verify-XXXXXX.json)"
+
 echo "all checks passed"

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Determinism lint: reject constructs that break reproducible runs.
+
+The simulator's core guarantee is that one seed produces bit-identical
+allocations (golden tests, flight-recorder replay, rrf_verify all depend
+on it).  This linter rejects the constructs that historically break that
+guarantee:
+
+  raw-rng      rand()/srand()/std::random_device anywhere except the
+               seeded wrapper in src/common/rng.hpp.  Unseeded entropy
+               makes runs unreproducible.
+  wall-clock   time()/std::chrono::system_clock outside src/obs/.
+               Wall-clock timestamps in the decision path leak real time
+               into simulated state; observability may timestamp freely
+               (steady_clock is allowed everywhere: it never feeds
+               allocation decisions and phase timers need it).
+  unordered    std::unordered_map/std::unordered_set in the deterministic
+               paths (src/alloc, src/sim, src/cluster).  Iteration order
+               is libstdc++-version- and hash-seed-dependent; use std::map
+               or a sorted vector.
+  float-eq     == / != against a floating-point literal outside the
+               approved helpers in src/common/float_eq.hpp.  Exact float
+               comparison is usually a bug; when it is deliberate
+               (sentinels, skip-zero fast paths) say so through
+               exactly_equal()/is_exact_zero() or a suppression.
+
+Suppressions:
+  * inline, same line:   // determinism-lint: allow(<rule>)
+  * repo-wide:           scripts/determinism_lint_allow.txt
+                         lines of "<rule> <path-glob>" (fnmatch against
+                         the repo-relative path), '#' comments.
+
+Usage:
+  determinism_lint.py [paths...]      lint files/trees (default: src)
+  determinism_lint.py --self-test     run the fixture suite in
+                                      scripts/lint_fixtures/ and exit
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h", ".cxx"}
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+"
+
+# rule name -> (regex, path predicate, message).  The predicate receives a
+# repo-relative posix path and says whether the rule applies there.
+RULES = {
+    "raw-rng": (
+        re.compile(r"\bstd::random_device\b|(?<![\w:])s?rand\s*\("),
+        lambda p: p != "src/common/rng.hpp",
+        "unseeded randomness; use rrf::Rng (src/common/rng.hpp)",
+    ),
+    "wall-clock": (
+        re.compile(r"\bsystem_clock\b|(?<![\w:])time\s*\("),
+        lambda p: not p.startswith("src/obs/"),
+        "wall-clock time outside obs/; simulated time must come from the "
+        "engine clock",
+    ),
+    "unordered": (
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        lambda p: p.startswith(("src/alloc/", "src/sim/", "src/cluster/")),
+        "hash-ordered container in a deterministic path; iteration order "
+        "is not reproducible — use std::map or a sorted vector",
+    ),
+    "float-eq": (
+        re.compile(
+            rf"(?:==|!=)\s*[-+]?(?:{FLOAT_LITERAL})"
+            rf"|(?:{FLOAT_LITERAL})\s*(?:==|!=)(?!=)"
+        ),
+        lambda p: p != "src/common/float_eq.hpp",
+        "exact floating-point comparison; use approx_eq/approx_le or the "
+        "deliberate exactly_equal/is_exact_zero (src/common/float_eq.hpp)",
+    ),
+}
+
+SUPPRESS_RE = re.compile(r"determinism-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines
+    (and therefore line numbers) so matches report real locations."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(n, i + 2)
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":  # unterminated; bail at line end
+                    break
+                i += 1
+            i = min(n, i + 1)
+            out.append(quote + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load_allowlist(path: pathlib.Path) -> list[tuple[str, str]]:
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in RULES:
+            sys.stderr.write(
+                f"{path}:{lineno}: malformed allowlist entry: {raw!r}\n")
+            sys.exit(2)
+        entries.append((parts[0], parts[1]))
+    return entries
+
+
+def inline_suppressions(text: str) -> dict[int, set[str]]:
+    """Line number -> rules allowed on that line (scanned pre-stripping,
+    since the marker lives in a comment)."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+def lint_file(path: pathlib.Path, rel: str,
+              allowlist: list[tuple[str, str]]) -> list[str]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    suppressed = inline_suppressions(text)
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    for rule, (pattern, applies, message) in RULES.items():
+        if not applies(rel):
+            continue
+        if any(fnmatch.fnmatch(rel, glob)
+               for r, glob in allowlist if r == rule):
+            continue
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if not pattern.search(line):
+                continue
+            if rule in suppressed.get(lineno, set()):
+                continue
+            findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+    return findings
+
+
+def collect_files(paths: list[str]) -> list[pathlib.Path]:
+    files = []
+    for p in paths:
+        path = pathlib.Path(p)
+        if path.is_dir():
+            files.extend(sorted(f for f in path.rglob("*")
+                                if f.suffix in SOURCE_SUFFIXES))
+        elif path.is_file():
+            files.append(path)
+        else:
+            sys.stderr.write(f"determinism_lint: no such path: {p}\n")
+            sys.exit(2)
+    return files
+
+
+def relpath(path: pathlib.Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def self_test() -> int:
+    """Every rule needs a fixture pair: <rule>_trigger.cxx must produce at
+    least one finding of exactly that rule, <rule>_ok.cxx must be clean.
+    Fixtures are linted as if they lived in src/alloc/ so every rule's
+    path predicate applies."""
+    fixture_dir = REPO_ROOT / "scripts" / "lint_fixtures"
+    failures = 0
+    for rule in RULES:
+        for kind in ("trigger", "ok"):
+            fixture = fixture_dir / f"{rule.replace('-', '_')}_{kind}.cxx"
+            if not fixture.exists():
+                print(f"self-test FAIL: missing fixture {fixture}")
+                failures += 1
+                continue
+            pretend = f"src/alloc/{fixture.name}"
+            findings = lint_file(fixture, pretend, allowlist=[])
+            hits = [f for f in findings if f"[{rule}]" in f]
+            if kind == "trigger" and not hits:
+                print(f"self-test FAIL: {fixture.name} triggered nothing "
+                      f"for rule {rule}")
+                failures += 1
+            elif kind == "ok" and findings:
+                print(f"self-test FAIL: {fixture.name} should be clean, "
+                      f"got:\n  " + "\n  ".join(findings))
+                failures += 1
+    total = len(RULES) * 2
+    print(f"self-test: {total - failures}/{total} fixture checks passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="determinism lint (see module docstring)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the linter against its fixtures")
+    parser.add_argument("--allowlist",
+                        default=str(REPO_ROOT / "scripts" /
+                                    "determinism_lint_allow.txt"),
+                        help="allowlist file (rule path-glob per line)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    paths = args.paths or [str(REPO_ROOT / "src")]
+    allowlist = load_allowlist(pathlib.Path(args.allowlist))
+    findings = []
+    for f in collect_files(paths):
+        findings.extend(lint_file(f, relpath(f), allowlist))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

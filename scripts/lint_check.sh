@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Static-analysis tier (docs/STATIC_ANALYSIS.md): determinism lint (always)
+# plus clang-tidy over src/ when the tool and a compilation database are
+# available.  clang-tidy is not baked into every dev container, so its
+# absence is a skip, not a failure — CI installs it and runs the full pass.
+# Run from the repository root.
+set -euo pipefail
+
+echo "-- determinism lint: self-test"
+python3 scripts/determinism_lint.py --self-test
+
+echo "-- determinism lint: src/"
+python3 scripts/determinism_lint.py src
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "-- clang-tidy not found on PATH; skipping (CI runs it)"
+  exit 0
+fi
+
+# clang-tidy needs compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is
+# always on — see the top-level CMakeLists.txt).
+build_dir="${RRF_TIDY_BUILD_DIR:-build}"
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "-- $build_dir/compile_commands.json missing; configuring"
+  cmake -B "$build_dir" -G Ninja >/dev/null
+fi
+
+echo "-- clang-tidy: src/"
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+else
+  clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+fi
+
+echo "lint checks passed"

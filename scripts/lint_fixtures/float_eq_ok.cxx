@@ -1,0 +1,12 @@
+// Fixture: must pass [float-eq].  Tolerant comparison, integer
+// comparison, and ordering operators against float literals are fine.
+#include <cmath>
+
+bool tolerant_compare(double grant, double share, int count) {
+  if (count == 0) return true;                  // int compare is fine
+  if (grant >= 1.0 || share <= 0.5) return false;  // ordering is fine
+  const bool sentinel = grant == -1.0;  // determinism-lint: allow(float-eq)
+  // "x == 1.0" in a string or comment is fine:
+  const char* doc = "score == 1.0 means satisfied";
+  return sentinel || (std::abs(grant - share) < 1e-9 && doc != nullptr);
+}

@@ -1,0 +1,6 @@
+// Fixture: must trigger [float-eq].
+bool exact_float_compare(double grant, double share) {
+  if (grant == 0.0) return true;        // finding: float-eq
+  if (share != 1.5e-9) return false;    // finding: float-eq
+  return 0.25 == grant;                 // finding: float-eq
+}

@@ -1,0 +1,18 @@
+// Fixture: must pass [raw-rng].  Seeded Rng use, rand-like identifiers
+// and suppressed lines are all fine.
+#include <cstdlib>
+
+struct Rng {
+  explicit Rng(unsigned seed) : state(seed) {}
+  unsigned state;
+};
+
+int seeded_randomness() {
+  Rng rng(42);
+  int spread = 3;            // "spread(" does not match rand(
+  int operand = spread + 1;  // identifier containing "rand" is fine
+  int entropy = rand();      // determinism-lint: allow(raw-rng)
+  // rand() in a comment is fine, as is "rand()" in a string:
+  const char* label = "rand()";
+  return operand + entropy + static_cast<int>(label[0]) + rng.state;
+}

@@ -1,0 +1,9 @@
+// Fixture: must trigger [raw-rng].  (.cxx so the format/hygiene globs
+// skip fixtures; these files are linted, never compiled.)
+#include <cstdlib>
+#include <random>
+
+int unseeded_entropy() {
+  std::random_device entropy;          // finding: raw-rng
+  return static_cast<int>(entropy()) + rand();  // finding: raw-rng
+}

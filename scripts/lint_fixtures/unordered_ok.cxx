@@ -1,0 +1,15 @@
+// Fixture: must pass [unordered].  Ordered containers iterate
+// deterministically.
+#include <map>
+#include <string>
+#include <vector>
+
+double sum_in_key_order() {
+  std::map<std::string, double> grants;
+  grants["a"] = 1.0;
+  double total = 0.0;
+  for (const auto& [name, grant] : grants) total += grant;
+  std::vector<double> sorted_values{1.0, 2.0};
+  for (double v : sorted_values) total += v;
+  return total;
+}

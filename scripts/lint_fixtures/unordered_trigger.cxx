@@ -1,0 +1,11 @@
+// Fixture: must trigger [unordered] (linted as if in src/alloc/).
+#include <string>
+#include <unordered_map>
+
+double sum_in_hash_order() {
+  std::unordered_map<std::string, double> grants;  // finding: unordered
+  grants["a"] = 1.0;
+  double total = 0.0;
+  for (const auto& [name, grant] : grants) total += grant;
+  return total;
+}

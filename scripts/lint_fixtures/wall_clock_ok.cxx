@@ -1,0 +1,13 @@
+// Fixture: must pass [wall-clock].  steady_clock is allowed everywhere
+// (monotonic, never feeds simulated state), and identifiers merely
+// containing "time" are fine.
+#include <chrono>
+
+double monotonic_phase_timer() {
+  const auto begin = std::chrono::steady_clock::now();
+  double sim_time = 0.0;
+  auto advance_time = [&](double dt) { sim_time += dt; };  // not time(
+  advance_time(5.0);
+  const auto end = std::chrono::steady_clock::now();
+  return sim_time + std::chrono::duration<double>(end - begin).count();
+}

@@ -1,0 +1,10 @@
+// Fixture: must trigger [wall-clock].
+#include <chrono>
+#include <ctime>
+
+double wall_time_in_decision_path() {
+  const auto now = std::chrono::system_clock::now();  // finding: wall-clock
+  const std::time_t stamp = time(nullptr);            // finding: wall-clock
+  return static_cast<double>(stamp) +
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,67 @@
+#include "alloc/contract_checks.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/contract.hpp"
+#include "common/float_eq.hpp"
+
+namespace rrf::alloc {
+
+namespace {
+/// Contract tolerance: allocations are sums/water-fills over hundreds of
+/// doubles, so the comparison epsilon is scaled-relative (float_eq.hpp)
+/// and looser than the allocators' own kEps decision threshold.
+constexpr double kTol = 1e-7;
+
+std::string describe(const char* policy, std::size_t i, std::size_t k,
+                     double value) {
+  return std::string(policy) + ": entity " + std::to_string(i) + " type " +
+         std::to_string(k) + " value " + std::to_string(value);
+}
+}  // namespace
+
+void check_allocation_contracts(const char* policy,
+                                const ResourceVector& capacity,
+                                std::span<const AllocationEntity> entities,
+                                const AllocationResult& result,
+                                const AllocationContractOptions& options) {
+  const std::size_t p = capacity.size();
+  const std::size_t m = entities.size();
+  RRF_ENSURE("alloc.result_arity",
+             result.allocations.size() == m && result.unallocated.size() == p,
+             std::string(policy) + ": result arity mismatch");
+  if (result.allocations.size() != m || result.unallocated.size() != p) {
+    return;  // audit mode continues; avoid indexing a malformed result
+  }
+
+  for (std::size_t k = 0; k < p; ++k) {
+    double allocated = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = result.allocations[i][k];
+      RRF_ENSURE("alloc.no_negative_allocation", a >= -kTol,
+                 describe(policy, i, k, a));
+      if (options.demand_capped) {
+        RRF_ENSURE("alloc.demand_capped",
+                   approx_le(a, entities[i].demand[k], kTol),
+                   describe(policy, i, k, a) + " demand " +
+                       std::to_string(entities[i].demand[k]));
+      }
+      allocated += a;
+    }
+    RRF_ENSURE("alloc.capacity_respected",
+               approx_le(allocated, capacity[k], kTol),
+               std::string(policy) + ": type " + std::to_string(k) +
+                   " allocated " + std::to_string(allocated) +
+                   " of capacity " + std::to_string(capacity[k]));
+    const double idle = std::max(0.0, capacity[k] - allocated);
+    RRF_ENSURE("alloc.unallocated_consistent",
+               result.unallocated[k] >= -kTol &&
+                   approx_eq(result.unallocated[k], idle, kTol),
+               std::string(policy) + ": type " + std::to_string(k) +
+                   " reports " + std::to_string(result.unallocated[k]) +
+                   " unallocated, expected " + std::to_string(idle));
+  }
+}
+
+}  // namespace rrf::alloc

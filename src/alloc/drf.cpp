@@ -6,7 +6,9 @@
 #include <numeric>
 #include <vector>
 
+#include "alloc/contract_checks.hpp"
 #include "alloc/wmmf.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace rrf::alloc {
@@ -118,6 +120,10 @@ AllocationResult DrfAllocator::allocate(
   for (std::size_t k = 0; k < p; ++k) {
     result.unallocated[k] = std::max(0.0, remaining[k]);
   }
+  if (contract::armed()) {
+    check_allocation_contracts("drf", capacity, entities, result,
+                               {.demand_capped = true});
+  }
   return result;
 }
 
@@ -195,6 +201,10 @@ AllocationResult SequentialDrfAllocator::allocate(
   result.unallocated = ResourceVector(p);
   for (std::size_t k = 0; k < p; ++k) {
     result.unallocated[k] = std::max(0.0, remaining[k]);
+  }
+  if (contract::armed()) {
+    check_allocation_contracts("drf-seq", capacity, entities, result,
+                               {.demand_capped = true});
   }
   return result;
 }

@@ -6,8 +6,11 @@
 #include <numeric>
 #include <vector>
 
+#include "alloc/contract_checks.hpp"
 #include "alloc/wmmf.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -142,6 +145,21 @@ AllocationResult IrtAllocator::allocate_traced(
   // Lines 1-8: initial shares, per-type contributions, total Lambda(i).
   const std::vector<double> lambda = total_contributions(entities);
 
+  if (contract::armed()) {
+    // Lambda(i) is a clamped sum of per-type surpluses, so it is bounded
+    // by the entity's aggregate share plus any banked long-term credit
+    // (paper Algorithm 1 lines 1-8; banked term is the rrf-lt extension).
+    for (std::size_t i = 0; i < m; ++i) {
+      const double bound = entities[i].initial_share.sum() +
+                           std::max(0.0, entities[i].banked_contribution);
+      RRF_INVARIANT("irt.lambda_range",
+                    lambda[i] >= 0.0 && approx_le(lambda[i], bound, 1e-9),
+                    "entity " + std::to_string(i) + " Lambda " +
+                        std::to_string(lambda[i]) + " outside [0, " +
+                        std::to_string(bound) + "]");
+    }
+  }
+
   AllocationResult result;
   result.allocations.assign(m, ResourceVector(p));
   result.unallocated = ResourceVector(p);
@@ -223,6 +241,23 @@ AllocationResult IrtAllocator::allocate_traced(
       while (v < m && search.sat(v + 1)) ++v;
     }
 
+    if (contract::armed() && !options_.cap_gain_at_contribution) {
+      // Boundary-table monotonicity (the binary search's correctness
+      // argument, see the BoundarySearch comment): sat() must be true on
+      // the whole accepted prefix (u, v] and false at v + 1, exactly the
+      // state a linear scan would have stopped in.
+      for (std::size_t t = u + 1; t <= v; ++t) {
+        RRF_INVARIANT("irt.boundary_monotone", search.sat(t),
+                      "type " + std::to_string(k) + ": accepted position " +
+                          std::to_string(t) + " of boundary " +
+                          std::to_string(v) + " is unsatisfiable");
+      }
+      RRF_INVARIANT("irt.boundary_monotone", v >= m || !search.sat(v + 1),
+                    "type " + std::to_string(k) + ": boundary " +
+                        std::to_string(v) +
+                        " stopped although the next entity is satisfiable");
+    }
+
     // ---- allocation (lines 16-20). ----
     const double psi = search.psi(v);
     const double lam_suffix = search.suffix_lambda(v);
@@ -268,6 +303,27 @@ AllocationResult IrtAllocator::allocate_traced(
           result.allocations[i][k] = grant;
           allocated += grant;
         }
+        if (contract::armed()) {
+          // Gain-as-you-contribute (Algorithm 1 line 20 / Table II): every
+          // uncapped entity's gain over its initial share is proportional
+          // to its Lambda, i.e. gain_i * Lambda_j == gain_j * Lambda_i.
+          const std::size_t a = order[v];
+          const double gain_a =
+              result.allocations[a][k] - entities[a].initial_share[k];
+          for (std::size_t t = v + 1; t < m; ++t) {
+            const std::size_t i = order[t];
+            const double gain_i =
+                result.allocations[i][k] - entities[i].initial_share[k];
+            RRF_INVARIANT(
+                "irt.gain_proportional_to_lambda",
+                approx_eq(gain_i * lambda[a], gain_a * lambda[i],
+                          1e-9 * std::max(1.0, psi * psi)),
+                "type " + std::to_string(k) + ": gains " +
+                    std::to_string(gain_a) + "/" + std::to_string(gain_i) +
+                    " not in Lambda ratio " + std::to_string(lambda[a]) +
+                    "/" + std::to_string(lambda[i]));
+          }
+        }
       } else if (psi >= 0.0) {
         // Nobody in the suffix contributed anything: psi is
         // undistributable under gain-as-you-contribute.  The optional
@@ -312,6 +368,33 @@ AllocationResult IrtAllocator::allocate_traced(
       }
     }
     result.unallocated[k] = std::max(0.0, capacity[k] - allocated);
+
+    if (contract::armed()) {
+      // Reciprocity (paper Table II "contributed == gained"): when the pool
+      // is exactly the sum of initial shares — the normal case, the engine
+      // always hands IRT pool == sum(S) — every share some entity gives up
+      // is either picked up by another entity or reported idle.
+      double total_share = 0.0, contributed = 0.0, gained = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double s = entities[i].initial_share[k];
+        const double delta = result.allocations[i][k] - s;
+        total_share += s;
+        if (delta < 0.0) {
+          contributed -= delta;
+        } else {
+          gained += delta;
+        }
+      }
+      if (approx_eq(total_share, capacity[k], 1e-9)) {
+        RRF_ENSURE("irt.contributed_equals_gained",
+                   approx_eq(contributed, gained + result.unallocated[k],
+                             1e-7),
+                   "type " + std::to_string(k) + ": contributed " +
+                       std::to_string(contributed) + " != gained " +
+                       std::to_string(gained) + " + idle " +
+                       std::to_string(result.unallocated[k]));
+      }
+    }
 
     if (traces) {
       (*traces)[k].order = order;
@@ -361,6 +444,27 @@ AllocationResult IrtAllocator::allocate_traced(
       sink->irt_demand.push_back(e.demand);
     }
     sink->irt_grant = result.allocations;
+  }
+
+  if (contract::armed()) {
+    if (options_.cap_gain_at_contribution) {
+      // Strategy-proofness (the sp variant's defining property): no entity
+      // gains more across all types than its total contribution Lambda(i).
+      for (std::size_t i = 0; i < m; ++i) {
+        double gain = 0.0;
+        for (std::size_t k = 0; k < p; ++k) {
+          gain += std::max(0.0, result.allocations[i][k] -
+                                    entities[i].initial_share[k]);
+        }
+        RRF_ENSURE("irt.gain_capped_at_contribution",
+                   approx_le(gain, lambda[i], 1e-7),
+                   "entity " + std::to_string(i) + " gained " +
+                       std::to_string(gain) + " > Lambda " +
+                       std::to_string(lambda[i]));
+      }
+    }
+    check_allocation_contracts("irt", capacity, entities, result,
+                               {.demand_capped = true});
   }
   return result;
 }

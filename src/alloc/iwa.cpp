@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -63,10 +66,48 @@ double iwa_distribute_into(double tenant_total,
   // Degenerate defensive case: if the tenant-level grant cannot even cover
   // the capped allocations (tenant_total < used), scale down uniformly so
   // we never hand out more than the tenant owns.
-  if (used > tenant_total && used > 0.0) {
+  const bool scaled_down = used > tenant_total && used > 0.0;
+  if (scaled_down) {
     const double scale = tenant_total / used;
     for (double& a : out) a *= scale;
     headroom = 0.0;
+  }
+
+  if (contract::armed()) {
+    // Algorithm 2 post-conditions: grants are non-negative, capped at
+    // demand, and every share the tenant was granted is either handed to
+    // a VM or kept as headroom — intra-tenant adjustment never creates or
+    // destroys shares.
+    double granted = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      RRF_ENSURE("iwa.no_negative_allocation", out[j] >= 0.0,
+                 "VM " + std::to_string(j) + " grant " +
+                     std::to_string(out[j]));
+      RRF_ENSURE("iwa.demand_capped", approx_le(out[j], demands[j], 1e-7),
+                 "VM " + std::to_string(j) + " grant " +
+                     std::to_string(out[j]) + " over demand " +
+                     std::to_string(demands[j]));
+      granted += out[j];
+    }
+    RRF_ENSURE("iwa.share_conservation",
+               approx_eq(granted + headroom, tenant_total, 1e-7),
+               "granted " + std::to_string(granted) + " + headroom " +
+                   std::to_string(headroom) + " != tenant grant " +
+                   std::to_string(tenant_total));
+    if (!scaled_down && fill > 0.0) {
+      // Surplus split (Algorithm 2 lines 7-11): every unsatisfied VM gains
+      // the same fraction `fill` of its unmet need.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (demands[j] < initial_shares[j]) continue;
+        const double need = demands[j] - initial_shares[j];
+        RRF_ENSURE("iwa.surplus_split_ratio",
+                   approx_eq(out[j] - initial_shares[j], need * fill, 1e-7),
+                   "VM " + std::to_string(j) + " gain " +
+                       std::to_string(out[j] - initial_shares[j]) +
+                       " != fill " + std::to_string(fill) + " x need " +
+                       std::to_string(need));
+      }
+    }
   }
   return headroom;
 }

@@ -1,6 +1,10 @@
 #include "alloc/rrf.hpp"
 
+#include <string>
+
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 
 namespace rrf::alloc {
 
@@ -39,6 +43,28 @@ HierarchicalResult RrfAllocator::allocate_hierarchical(
                                        tenants[i].vms);
     out.vm_allocations.push_back(std::move(r.allocations));
     out.tenant_headroom.push_back(std::move(r.headroom));
+  }
+
+  if (contract::armed()) {
+    // Hierarchy glue: the two levels must agree — per tenant and type, the
+    // VM grants plus the tenant's retained headroom add up to exactly the
+    // entitlement IRT handed down (no shares appear or vanish between
+    // Algorithm 1 and Algorithm 2).
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      for (std::size_t k = 0; k < capacity.size(); ++k) {
+        double vm_sum = 0.0;
+        for (const ResourceVector& a : out.vm_allocations[i]) vm_sum += a[k];
+        RRF_ENSURE("rrf.hierarchy_conserved",
+                   approx_eq(vm_sum + out.tenant_headroom[i][k],
+                             out.tenant_level.allocations[i][k], 1e-7),
+                   "tenant " + std::to_string(i) + " type " +
+                       std::to_string(k) + ": VM sum " +
+                       std::to_string(vm_sum) + " + headroom " +
+                       std::to_string(out.tenant_headroom[i][k]) +
+                       " != tenant grant " +
+                       std::to_string(out.tenant_level.allocations[i][k]));
+      }
+    }
   }
   return out;
 }

@@ -1,5 +1,11 @@
 #include "alloc/tshirt.hpp"
 
+#include <string>
+
+#include "alloc/contract_checks.hpp"
+#include "common/contract.hpp"
+#include "common/float_eq.hpp"
+
 namespace rrf::alloc {
 
 AllocationResult TShirtAllocator::allocate(
@@ -26,6 +32,27 @@ AllocationResult TShirtAllocator::allocate(
   }
   for (std::size_t k = 0; k < p; ++k) {
     if (shares[k] <= 0.0) result.unallocated[k] = capacity[k];
+  }
+
+  if (contract::armed()) {
+    // Static partition: each grant is exactly the entity's share fraction
+    // of capacity, regardless of demand (the baseline's defining — and
+    // wasteful — property the paper argues against).
+    for (std::size_t k = 0; k < p; ++k) {
+      if (shares[k] <= 0.0) continue;
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        const double expected =
+            capacity[k] * (entities[i].initial_share[k] / shares[k]);
+        RRF_ENSURE("tshirt.proportional_to_share",
+                   approx_eq(result.allocations[i][k], expected, 1e-9),
+                   "entity " + std::to_string(i) + " type " +
+                       std::to_string(k) + " grant " +
+                       std::to_string(result.allocations[i][k]) +
+                       " != share cut " + std::to_string(expected));
+      }
+    }
+    check_allocation_contracts("tshirt", capacity, entities, result,
+                               {.demand_capped = false});
   }
   return result;
 }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
+#include "alloc/contract_checks.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 
 namespace rrf::alloc {
 
@@ -92,6 +96,28 @@ AllocationResult WmmfAllocator::allocate(
       used += alloc[i];
     }
     result.unallocated[k] = std::max(0.0, capacity[k] - used);
+
+    if (contract::armed() &&
+        result.unallocated[k] > 1e-7 * std::max(1.0, capacity[k])) {
+      // Work conservation: capacity is only left idle when every weighted
+      // user is already demand-satisfied.  Zero-weight users receive
+      // nothing under contention and are exempt.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (weights[i] <= 0.0) continue;
+        RRF_ENSURE("wmmf.work_conserving",
+                   approx_eq(alloc[i], demands[i], 1e-7),
+                   "type " + std::to_string(k) + ": entity " +
+                       std::to_string(i) + " unsatisfied (" +
+                       std::to_string(alloc[i]) + " of " +
+                       std::to_string(demands[i]) + ") while " +
+                       std::to_string(result.unallocated[k]) + " idles");
+      }
+    }
+  }
+
+  if (contract::armed()) {
+    check_allocation_contracts("wmmf", capacity, entities, result,
+                               {.demand_capped = true});
   }
   return result;
 }

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include <string>
+
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -101,6 +105,46 @@ RebalancePlan plan_rebalance(
   }
 
   plan.pressure_after = pressures(host_capacity, hosts);
+
+  if (contract::armed()) {
+    // Migration moves load between hosts but never creates or destroys
+    // it: summed per-host demand/reservation totals after the plan equal
+    // the totals over the VM list itself.
+    ResourceVector total_demand(p), total_reserved(p);
+    for (const VmLoad& vm : vms) {
+      total_demand += vm.demand;
+      total_reserved += vm.reserved;
+    }
+    ResourceVector host_demand(p), host_reserved(p);
+    for (const HostState& h : hosts) {
+      host_demand += h.demand;
+      host_reserved += h.reserved;
+    }
+    for (std::size_t k = 0; k < p; ++k) {
+      RRF_ENSURE("rebalance.totals_conserved",
+                 approx_eq(host_demand[k], total_demand[k], 1e-7) &&
+                     approx_eq(host_reserved[k], total_reserved[k], 1e-7),
+                 "type " + std::to_string(k) + ": hosts carry " +
+                     std::to_string(host_demand[k]) + "/" +
+                     std::to_string(host_reserved[k]) +
+                     " demand/reserved, VM list sums to " +
+                     std::to_string(total_demand[k]) + "/" +
+                     std::to_string(total_reserved[k]));
+    }
+    RRF_ENSURE("rebalance.migration_budget",
+               plan.migrations.size() <= options.max_migrations,
+               std::to_string(plan.migrations.size()) +
+                   " migrations exceed budget " +
+                   std::to_string(options.max_migrations));
+    for (const Migration& mig : plan.migrations) {
+      RRF_INVARIANT("rebalance.plan_wellformed",
+                    mig.vm_index < vms.size() && mig.from != mig.to &&
+                        mig.from < hosts.size() && mig.to < hosts.size(),
+                    "migration of VM " + std::to_string(mig.vm_index) +
+                        " from " + std::to_string(mig.from) + " to " +
+                        std::to_string(mig.to));
+    }
+  }
 
   if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
     sink->has_rebalance = true;

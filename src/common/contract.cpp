@@ -1,0 +1,99 @@
+#include "common/contract.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace rrf::contract {
+
+namespace {
+
+Mode initial_mode() {
+  const char* audit = std::getenv("RRF_AUDIT");
+  return (audit != nullptr && audit[0] == '1' && audit[1] == '\0')
+             ? Mode::kAudit
+             : Mode::kAbort;
+}
+
+std::atomic<Mode>& mode_cell() {
+  static std::atomic<Mode> cell{initial_mode()};
+  return cell;
+}
+
+std::atomic<Handler>& handler_cell() {
+  static std::atomic<Handler> cell{nullptr};
+  return cell;
+}
+
+struct Tally {
+  std::mutex mu;
+  std::map<std::string, std::uint64_t> per_site;
+  std::uint64_t total{0};
+};
+
+Tally& tally() {
+  static Tally t;
+  return t;
+}
+
+}  // namespace
+
+Mode mode() { return mode_cell().load(std::memory_order_relaxed); }
+
+void set_mode(Mode m) { mode_cell().store(m, std::memory_order_relaxed); }
+
+void set_violation_handler(Handler handler) {
+  handler_cell().store(handler, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> violation_counts() {
+  Tally& t = tally();
+  std::lock_guard lock(t.mu);
+  return {t.per_site.begin(), t.per_site.end()};
+}
+
+std::uint64_t total_violations() {
+  Tally& t = tally();
+  std::lock_guard lock(t.mu);
+  return t.total;
+}
+
+void reset_violations() {
+  Tally& t = tally();
+  std::lock_guard lock(t.mu);
+  t.per_site.clear();
+  t.total = 0;
+}
+
+void report(const char* kind, const char* site, const char* expr,
+            std::string message, std::source_location loc) {
+  {
+    Tally& t = tally();
+    std::lock_guard lock(t.mu);
+    ++t.per_site[site];
+    ++t.total;
+  }
+  if (mode() == Mode::kAudit) {
+    if (Handler handler = handler_cell().load(std::memory_order_relaxed)) {
+      handler(Violation{kind, site, expr, std::move(message), loc.file_name(),
+                        loc.line()});
+    }
+    return;
+  }
+  std::fprintf(stderr,
+               "\n=== RRF contract violation ===\n"
+               " site: %s\n"
+               " kind: %s\n"
+               " expr: %s\n"
+               " what: %s\n"
+               "where: %s:%u\n"
+               "(set RRF_AUDIT=1 to record instead of aborting)\n",
+               site, kind, expr, message.c_str(), loc.file_name(),
+               static_cast<unsigned>(loc.line()));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rrf::contract

@@ -1,0 +1,119 @@
+// Paper-derived invariant contracts (see docs/STATIC_ANALYSIS.md).
+//
+// RRF's correctness claims are algebraic: IRT redistributes exactly what
+// was contributed, in proportion to each tenant's total contribution
+// (Algorithm 1, Table II); IWA conserves a tenant's aggregate share while
+// splitting surplus by unsatisfied demand (Algorithm 2); no policy hands
+// out negative or over-capacity grants.  This header turns those claims
+// into machine-checked contracts with three behaviours:
+//
+//  * release builds (NDEBUG, unless -DRRF_CONTRACTS_COMPILED_IN=1 /
+//    cmake -DRRF_CONTRACTS=ON): the macros compile to nothing — armed()
+//    is a constant false, so guarded check loops dead-strip entirely;
+//  * debug / contract builds, abort mode (default): a violated contract
+//    prints a formatted report to stderr and aborts, like an assert that
+//    explains itself;
+//  * audit mode (env RRF_AUDIT=1 or set_mode(Mode::kAudit)): violations
+//    are tallied per site (and forwarded to an installed handler — see
+//    obs/contract_bridge.hpp, which feeds the metrics registry and the
+//    event tracer) and execution continues.  tools/rrf_verify runs its
+//    scenario sweeps in this mode.
+//
+// Macro family:
+//  * RRF_CONTRACT_REQUIRE(site, expr, msg) — hot-path precondition.  The
+//    always-on, throwing RRF_REQUIRE from common/error.hpp remains the
+//    right tool at API boundaries; this variant is for checks too costly
+//    to keep in release builds.
+//  * RRF_ENSURE(site, expr, msg)    — postcondition on a produced result.
+//  * RRF_INVARIANT(site, expr, msg) — mid-flight algebraic invariant.
+//
+// `site` is a short stable identifier ("irt.capacity_conserved") that
+// names the invariant in reports, tallies and the Prometheus family
+// rrf_contract_violations_total{site=...}.  `msg` is evaluated only on
+// violation, so building a descriptive string is free on the happy path.
+// Wrap O(m) check computations in `if (rrf::contract::armed())` — the
+// code stays compiled (no bitrot) but the optimizer removes it when
+// contracts are off.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef RRF_CONTRACTS_COMPILED_IN
+#ifdef NDEBUG
+#define RRF_CONTRACTS_COMPILED_IN 0
+#else
+#define RRF_CONTRACTS_COMPILED_IN 1
+#endif
+#endif
+
+namespace rrf::contract {
+
+/// Compile-time master switch (mirrors obs::kCompiledIn).
+inline constexpr bool kCompiledIn = RRF_CONTRACTS_COMPILED_IN != 0;
+
+/// Constant false when contracts are compiled out; use as the guard for
+/// check-only computations so they dead-strip in release builds.
+constexpr bool armed() { return kCompiledIn; }
+
+enum class Mode {
+  kAbort,  ///< print a formatted violation report and abort (debug default)
+  kAudit,  ///< tally + forward to the handler, then continue
+};
+
+/// Current mode.  First call reads the RRF_AUDIT environment variable
+/// ("1" => kAudit); set_mode() overrides programmatically.
+Mode mode();
+void set_mode(Mode m);
+
+/// One contract violation, as seen by an audit-mode handler.
+struct Violation {
+  const char* kind;  ///< "require" | "ensure" | "invariant"
+  const char* site;  ///< stable site identifier, e.g. "irt.lambda_range"
+  const char* expr;  ///< stringified failing expression
+  std::string message;
+  const char* file;
+  std::uint_least32_t line;
+};
+
+/// Audit-mode sink (e.g. obs::install_contract_audit_recorder()).  The
+/// internal per-site tally is kept regardless; nullptr uninstalls.
+using Handler = void (*)(const Violation&);
+void set_violation_handler(Handler handler);
+
+/// Per-site violation counts (sorted by site) and their sum, accumulated
+/// since the last reset_violations().  Thread-safe; audit mode only adds
+/// on the (cold) violation path.
+std::vector<std::pair<std::string, std::uint64_t>> violation_counts();
+std::uint64_t total_violations();
+void reset_violations();
+
+/// Central dispatch behind the macros; aborts or records per mode().
+void report(const char* kind, const char* site, const char* expr,
+            std::string message,
+            std::source_location loc = std::source_location::current());
+
+}  // namespace rrf::contract
+
+#define RRF_CONTRACT_CHECK_(kind, site, expr, msg)                \
+  do {                                                            \
+    if (::rrf::contract::armed() && !(expr)) {                    \
+      ::rrf::contract::report(kind, site, #expr, (msg),           \
+                              std::source_location::current());   \
+    }                                                             \
+  } while (false)
+
+/// Debug/audit-only precondition (API boundaries keep RRF_REQUIRE).
+#define RRF_CONTRACT_REQUIRE(site, expr, msg) \
+  RRF_CONTRACT_CHECK_("require", site, expr, msg)
+
+/// Postcondition on a result the enclosing code just produced.
+#define RRF_ENSURE(site, expr, msg) \
+  RRF_CONTRACT_CHECK_("ensure", site, expr, msg)
+
+/// Algebraic invariant that must hold mid-computation.
+#define RRF_INVARIANT(site, expr, msg) \
+  RRF_CONTRACT_CHECK_("invariant", site, expr, msg)

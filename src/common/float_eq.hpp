@@ -1,0 +1,41 @@
+// Approved floating-point comparison helpers.
+//
+// scripts/determinism_lint.py rejects raw `==` / `!=` between
+// floating-point expressions in src/ because exact comparison is almost
+// always either a bug (accumulated values) or an unstated intent (a
+// sentinel / guard check).  The helpers below are the approved spellings:
+// they make the intent explicit, and the lint allows them.
+//
+//  * exactly_equal / is_exact_zero — deliberate bit-for-bit comparison:
+//    division-by-zero guards, "field was never written" sentinels,
+//    golden-value captures.  Semantically identical to `a == b`.
+//  * approx_eq / approx_le — tolerance-based comparison for computed
+//    values, scaled so the epsilon is relative for large magnitudes and
+//    absolute near zero (contract checks use these).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrf {
+
+/// Deliberate exact comparison (e.g. sentinel checks).  Spelling it this
+/// way marks the call site as intentional for the determinism lint.
+constexpr bool exactly_equal(double a, double b) { return a == b; }
+
+/// Deliberate exact zero test (division guards, unset-field sentinels).
+constexpr bool is_exact_zero(double x) { return x == 0.0; }
+
+/// |a - b| <= eps * max(1, |a|, |b|): relative for large values, absolute
+/// (eps) near zero.
+inline bool approx_eq(double a, double b, double eps) {
+  return std::abs(a - b) <=
+         eps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// a <= b within the same scaled tolerance as approx_eq.
+inline bool approx_le(double a, double b, double eps) {
+  return a <= b + eps * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace rrf

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/float_eq.hpp"
+
 namespace rrf {
 
 ResourceVector ResourceVector::uniform(std::size_t p, double value) {
@@ -32,7 +34,7 @@ ResourceVector& ResourceVector::operator*=(double s) {
 }
 
 ResourceVector& ResourceVector::operator/=(double s) {
-  RRF_REQUIRE(s != 0.0, "division by zero scalar");
+  RRF_REQUIRE(!is_exact_zero(s), "division by zero scalar");
   for (std::size_t k = 0; k < size_; ++k) data()[k] /= s;
   return *this;
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 
 namespace rrf {
 
@@ -42,7 +43,7 @@ double stddev(std::span<const double> xs) {
 
 double coefficient_of_variation(std::span<const double> xs) {
   const double m = mean(xs);
-  if (m == 0.0) return 0.0;
+  if (is_exact_zero(m)) return 0.0;
   return stddev(xs) / m;
 }
 
@@ -70,7 +71,7 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  if (is_exact_zero(sxx) || is_exact_zero(syy)) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
 
@@ -81,7 +82,7 @@ double jain_index(std::span<const double> xs) {
     s += x;
     ss += x * x;
   }
-  if (ss == 0.0) return 1.0;
+  if (is_exact_zero(ss)) return 1.0;
   return (s * s) / (static_cast<double>(xs.size()) * ss);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -120,7 +121,7 @@ void MemoryHotplug::step(Seconds dt) {
   const double budget = rate_gb_per_s_ * dt;
   for (Vm& vm : vms_) {
     const double delta = vm.target_gb - vm.current_gb;
-    if (delta == 0.0) continue;
+    if (is_exact_zero(delta)) continue;
     double blocks = std::floor(budget / block_gb_);
     if (blocks < 1.0) blocks = 1.0;
     const double max_move = blocks * block_gb_;

@@ -1,0 +1,36 @@
+#include "obs/contract_bridge.hpp"
+
+#include "common/contract.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rrf::obs {
+
+namespace {
+
+void record_violation(const contract::Violation& violation) {
+  if (metrics_enabled()) {
+    Counter& counter = metrics().counter(
+        labeled("contract.violations_total", {{"site", violation.site}}));
+    counter.add();
+  }
+  if (tracing_enabled()) {
+    TraceEvent e;
+    e.kind = EventKind::kContractViolation;
+    e.value = 1.0;
+    tracer().record(e);
+  }
+}
+
+}  // namespace
+
+void install_contract_audit_recorder() {
+  contract::set_violation_handler(&record_violation);
+}
+
+void uninstall_contract_audit_recorder() {
+  contract::set_violation_handler(nullptr);
+}
+
+}  // namespace rrf::obs

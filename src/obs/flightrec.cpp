@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 
@@ -255,8 +256,8 @@ json::Value flight_round_to_json(const FlightRound& round) {
         so.emplace_back("credit_cap", s.credit_cap);
         so.emplace_back("mem_target", s.mem_target);
       }
-      if (s.weight != 0.0) so.emplace_back("weight", s.weight);
-      if (s.banked != 0.0) so.emplace_back("banked", s.banked);
+      if (!is_exact_zero(s.weight)) so.emplace_back("weight", s.weight);
+      if (!is_exact_zero(s.banked)) so.emplace_back("banked", s.banked);
       slots.emplace_back(std::move(so));
     }
     no.emplace_back("slots", std::move(slots));

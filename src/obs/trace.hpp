@@ -45,6 +45,8 @@ enum class EventKind : std::uint8_t {
   kAlert,            ///< fairness SLO alert raised by the auditor
                      ///  (resource = AlertKind, value = measured,
                      ///  value2 = threshold, tenant = -1 for cluster-wide)
+  kContractViolation,  ///< audit-mode contract violation recorded by
+                       ///  obs/contract_bridge (value = 1 per violation)
 };
 
 /// Stable wire name ("irt_trade", "iwa_adjust", ...).

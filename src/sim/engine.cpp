@@ -13,7 +13,9 @@
 #include "alloc/rrf.hpp"
 #include "alloc/tshirt.hpp"
 #include "alloc/wmmf.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/float_eq.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
 #include "obs/flightrec.hpp"
@@ -640,6 +642,25 @@ SimResult run_simulation(const Scenario& scenario,
           for (std::size_t i = 0; i < n; ++i) {
             node.entitlement_shares[i][k] += extra[i];
           }
+        }
+      }
+      if (contract::armed()) {
+        // Physical safety: the policy arbitrates the sold pool and the
+        // surplus pass tops entitlements up with *unsold* head-room, so
+        // the node hands out at most max(pool, physical capacity) of any
+        // type — never shares it does not have.
+        for (std::size_t k = 0; k < kDefaultResourceCount; ++k) {
+          double entitled = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            entitled += node.entitlement_shares[i][k];
+          }
+          const double limit = std::max(pool[k], node.capacity_shares[k]);
+          RRF_INVARIANT("engine.node_capacity_safe",
+                        approx_le(entitled, limit, 1e-7),
+                        "node " + std::to_string(h) + " type " +
+                            std::to_string(k) + " entitles " +
+                            std::to_string(entitled) + " of " +
+                            std::to_string(limit) + " shares");
         }
       }
       allocate_phase.stop();

@@ -1,0 +1,116 @@
+// Contract-layer unit tests (common/contract.hpp): the abort path prints
+// a report and dies, audit mode records and continues, release builds
+// compile the checks out entirely, and the macros never evaluate their
+// expression or message when disarmed.
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rrf::contract {
+namespace {
+
+/// Restores global contract state around each test (mode, handler and
+/// tallies are process-global).
+class ContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_mode(Mode::kAbort);
+    set_violation_handler(nullptr);
+    reset_violations();
+  }
+  void TearDown() override {
+    set_mode(Mode::kAbort);
+    set_violation_handler(nullptr);
+    reset_violations();
+  }
+};
+
+std::vector<Violation> g_seen;
+void capture_handler(const Violation& v) { g_seen.push_back(v); }
+
+TEST_F(ContractTest, PassingChecksAreFree) {
+  RRF_CONTRACT_REQUIRE("test.pass", 1 + 1 == 2, "never built");
+  RRF_ENSURE("test.pass", true, "never built");
+  RRF_INVARIANT("test.pass", 2 > 1, "never built");
+  EXPECT_EQ(total_violations(), 0u);
+  EXPECT_TRUE(violation_counts().empty());
+}
+
+TEST_F(ContractTest, AbortModeDiesWithAFormattedReport) {
+  if (!kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  // The report names the site, the kind and the failing expression.
+  EXPECT_DEATH(
+      { RRF_ENSURE("test.abort_site", 1 == 2, "one is not two"); },
+      "contract violation");
+  EXPECT_DEATH({ RRF_INVARIANT("test.abort_site", false, "boom"); },
+               "test.abort_site");
+  EXPECT_DEATH({ RRF_CONTRACT_REQUIRE("test.abort_site", false, "boom"); },
+               "what: boom");
+}
+
+TEST_F(ContractTest, AuditModeRecordsAndContinues) {
+  if (!kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  set_mode(Mode::kAudit);
+  RRF_ENSURE("test.audit_a", false, "first");
+  RRF_ENSURE("test.audit_a", false, "second");
+  RRF_INVARIANT("test.audit_b", false, "third");
+  // Execution reached here: audit mode does not abort.
+  EXPECT_EQ(total_violations(), 3u);
+  const auto counts = violation_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "test.audit_a");
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[1].first, "test.audit_b");
+  EXPECT_EQ(counts[1].second, 1u);
+  reset_violations();
+  EXPECT_EQ(total_violations(), 0u);
+}
+
+TEST_F(ContractTest, AuditModeForwardsToTheHandler) {
+  if (!kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  set_mode(Mode::kAudit);
+  g_seen.clear();
+  set_violation_handler(&capture_handler);
+  RRF_INVARIANT("test.handler", 1 > 2, std::string("detail ") + "text");
+  ASSERT_EQ(g_seen.size(), 1u);
+  EXPECT_STREQ(g_seen[0].site, "test.handler");
+  EXPECT_STREQ(g_seen[0].kind, "invariant");
+  EXPECT_EQ(g_seen[0].message, "detail text");
+  EXPECT_NE(std::string(g_seen[0].expr).find("1 > 2"), std::string::npos);
+  // Uninstalling stops forwarding but the tally continues.
+  set_violation_handler(nullptr);
+  RRF_INVARIANT("test.handler", false, "untracked");
+  EXPECT_EQ(g_seen.size(), 1u);
+  EXPECT_EQ(total_violations(), 2u);
+}
+
+TEST_F(ContractTest, DisarmedChecksEvaluateNothing) {
+  if (kCompiledIn) GTEST_SKIP() << "contracts compiled in";
+  // Release builds: armed() is constant false and the && short-circuits,
+  // so neither the expression nor the message is ever evaluated.
+  int evaluations = 0;
+  auto costly = [&]() {
+    ++evaluations;
+    return false;
+  };
+  RRF_ENSURE("test.noop", costly(), (++evaluations, "msg"));
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(total_violations(), 0u);
+  static_assert(armed() == kCompiledIn);  // armed() is a compile-time constant
+}
+
+TEST_F(ContractTest, ArmedMatchesCompileSwitch) {
+  EXPECT_EQ(armed(), kCompiledIn);
+  // Mode round-trips regardless of the compile switch (the runtime knobs
+  // exist so tools can configure before arming).
+  set_mode(Mode::kAudit);
+  EXPECT_EQ(mode(), Mode::kAudit);
+  set_mode(Mode::kAbort);
+  EXPECT_EQ(mode(), Mode::kAbort);
+}
+
+}  // namespace
+}  // namespace rrf::contract

@@ -1,0 +1,87 @@
+// Contract → observability bridge (obs/contract_bridge.hpp): audit-mode
+// violations must surface as a per-site counter in the global metrics
+// registry and render as rrf_contract_violations_total{site="..."} in the
+// Prometheus exposition, and the bridge must respect the metrics runtime
+// switch.  These tests drive the macro directly, so they are meaningful
+// only when contracts are compiled in (Debug / -DRRF_CONTRACTS=ON).
+#include "obs/contract_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/contract.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace rrf::obs {
+namespace {
+
+/// Restores the process-global contract and metrics state around each test.
+class ContractBridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    contract::set_mode(contract::Mode::kAudit);
+    contract::reset_violations();
+    set_metrics_enabled(true);
+    metrics().reset();
+    install_contract_audit_recorder();
+  }
+  void TearDown() override {
+    uninstall_contract_audit_recorder();
+    metrics().reset();
+    set_metrics_enabled(false);
+    contract::set_mode(contract::Mode::kAbort);
+    contract::reset_violations();
+  }
+};
+
+TEST_F(ContractBridgeTest, ViolationIncrementsTheSiteCounter) {
+  if (!contract::kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  RRF_INVARIANT("bridge.test_site", false, "recorded");
+  RRF_INVARIANT("bridge.test_site", false, "recorded again");
+  const Counter* counter = metrics().find_counter(
+      labeled("contract.violations_total", {{"site", "bridge.test_site"}}));
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 2u);
+  // The contract-layer tally sees the violations too (it is independent of
+  // the handler).
+  EXPECT_EQ(contract::total_violations(), 2u);
+}
+
+TEST_F(ContractBridgeTest, PrometheusExpositionCarriesTheSiteLabel) {
+  if (!contract::kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  RRF_ENSURE("bridge.prom_site", false, "rendered");
+  std::ostringstream os;
+  write_prometheus(os, metrics());
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find("rrf_contract_violations_total{site=\"bridge.prom_site\"} 1"),
+      std::string::npos)
+      << text;
+}
+
+TEST_F(ContractBridgeTest, DisabledMetricsSuppressRecordingButNotTally) {
+  if (!contract::kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  set_metrics_enabled(false);
+  RRF_INVARIANT("bridge.dark_site", false, "not recorded");
+  EXPECT_EQ(metrics().find_counter(labeled("contract.violations_total",
+                                           {{"site", "bridge.dark_site"}})),
+            nullptr);
+  EXPECT_EQ(contract::total_violations(), 1u);
+}
+
+TEST_F(ContractBridgeTest, UninstallStopsForwarding) {
+  if (!contract::kCompiledIn) GTEST_SKIP() << "contracts compiled out";
+  uninstall_contract_audit_recorder();
+  RRF_INVARIANT("bridge.after_uninstall", false, "dropped");
+  EXPECT_EQ(metrics().find_counter(
+                labeled("contract.violations_total",
+                        {{"site", "bridge.after_uninstall"}})),
+            nullptr);
+  EXPECT_EQ(contract::total_violations(), 1u);
+}
+
+}  // namespace
+}  // namespace rrf::obs
