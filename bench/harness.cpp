@@ -1,12 +1,17 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <numeric>
 #include <ostream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/profiler.hpp"
 #include "sim/synthetic.hpp"
 
 namespace rrf::bench {
@@ -15,6 +20,38 @@ namespace {
 
 constexpr const char* kPhaseNames[obs::kPhaseCount] = {"predict", "allocate",
                                                        "actuate", "settle"};
+
+/// Flattens the snapshot's merged preorder tree into ';'-joined paths.
+std::vector<ProfilePathNode> flatten_profile(
+    const obs::ProfileSnapshot& snapshot) {
+  std::vector<ProfilePathNode> out;
+  std::vector<std::string> paths(snapshot.merged.size());
+  out.reserve(snapshot.merged.size());
+  for (std::size_t i = 0; i < snapshot.merged.size(); ++i) {
+    const obs::ProfileNode& n = snapshot.merged[i];
+    paths[i] = n.parent < 0
+                   ? n.site
+                   : paths[static_cast<std::size_t>(n.parent)] + ";" + n.site;
+    ProfilePathNode node;
+    node.path = paths[i];
+    node.self_seconds = n.self_seconds;
+    node.total_seconds = n.total_seconds;
+    node.calls = n.calls;
+    node.bytes = n.bytes;
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+/// Root totals = everything the call-tree accounts for (roots have no
+/// ';' in their path).
+double profile_root_total(const std::vector<ProfilePathNode>& nodes) {
+  double total = 0.0;
+  for (const ProfilePathNode& n : nodes) {
+    if (n.path.find(';') == std::string::npos) total += n.total_seconds;
+  }
+  return total;
+}
 
 CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
                     const SweepPoint& point) {
@@ -49,6 +86,11 @@ CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
   for (std::size_t trial = 0; trial < config.warmup + config.trials;
        ++trial) {
     const bool measured = trial >= config.warmup;
+    if (config.profile && trial == config.warmup) {
+      // Drop warmup frames so the attribution covers exactly the
+      // measured trials the wall-clock stats are pooled from.
+      obs::profile_reset();
+    }
     timed.observer = [&](const sim::WindowSnapshot&) {
       const Clock::time_point now = Clock::now();
       if (measured) {
@@ -70,6 +112,15 @@ CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
     }
   }
 
+  if (config.profile) {
+    cell.profile_nodes = flatten_profile(obs::profile_snapshot());
+    const double pooled_wall =
+        std::accumulate(window_wall.begin(), window_wall.end(), 0.0);
+    cell.profile_coverage =
+        pooled_wall > 0.0 ? profile_root_total(cell.profile_nodes) / pooled_wall
+                          : 0.0;
+  }
+
   cell.median_round_seconds = quantile(window_wall, 0.5);
   cell.p95_round_seconds = quantile(window_wall, 0.95);
   cell.mean_round_seconds = mean(window_wall);
@@ -87,6 +138,20 @@ json::Value sweep_point_json(const SweepPoint& p) {
   return json::Object{{"nodes", p.nodes},
                       {"vms_per_node", p.vms_per_node},
                       {"tenants", p.tenants}};
+}
+
+json::Array profile_nodes_json(const std::vector<ProfilePathNode>& nodes) {
+  json::Array out;
+  for (const ProfilePathNode& n : nodes) {
+    out.push_back(json::Object{
+        {"path", n.path},
+        {"self_seconds", n.self_seconds},
+        {"total_seconds", n.total_seconds},
+        {"calls", static_cast<double>(n.calls)},
+        {"bytes", static_cast<double>(n.bytes)},
+    });
+  }
+  return out;
 }
 
 void check(bool ok, const std::string& what) {
@@ -145,6 +210,11 @@ Report run_harness(const HarnessConfig& config, std::ostream* progress) {
               "bench harness needs >= 1 policy and >= 1 sweep point");
   RRF_REQUIRE(config.trials > 0 && config.windows > 0,
               "bench harness needs trials and windows > 0");
+  const bool was_profiling = obs::profiling_enabled();
+  if (config.profile && !was_profiling) {
+    obs::set_thread_name("main");
+    obs::set_profiling_enabled(true);
+  }
   Report report;
   report.config = config;
   report.cells.reserve(config.policies.size() * config.sweep.size());
@@ -165,6 +235,25 @@ Report run_harness(const HarnessConfig& config, std::ostream* progress) {
       report.cells.push_back(std::move(cell));
     }
   }
+  if (config.profile) {
+    // Report-level flamegraph input: cell trees merged by path.  A
+    // std::map keeps the paths sorted, which also keeps parents (shorter
+    // prefixes) ahead of their children for any downstream consumer.
+    std::map<std::string, ProfilePathNode> merged;
+    for (const CellResult& cell : report.cells) {
+      for (const ProfilePathNode& n : cell.profile_nodes) {
+        ProfilePathNode& m = merged[n.path];
+        m.path = n.path;
+        m.self_seconds += n.self_seconds;
+        m.total_seconds += n.total_seconds;
+        m.calls += n.calls;
+        m.bytes += n.bytes;
+      }
+    }
+    report.profile.reserve(merged.size());
+    for (auto& [path, node] : merged) report.profile.push_back(node);
+    if (!was_profiling) obs::set_profiling_enabled(false);
+  }
   return report;
 }
 
@@ -183,7 +272,7 @@ json::Value report_to_json(const Report& report) {
     for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
       phases.emplace_back(kPhaseNames[i], cell.phase_seconds[i]);
     }
-    results.push_back(json::Object{
+    json::Object cell_json{
         {"policy", sim::to_string(cell.policy)},
         {"nodes", cell.point.nodes},
         {"vms_per_node", cell.point.vms_per_node},
@@ -196,9 +285,16 @@ json::Value report_to_json(const Report& report) {
         {"total_wall_seconds", cell.total_wall_seconds},
         {"allocs_per_second", cell.allocs_per_second},
         {"phase_seconds", std::move(phases)},
-    });
+    };
+    if (report.config.profile) {
+      cell_json.emplace_back(
+          "profile", json::Object{{"coverage", cell.profile_coverage},
+                                  {"nodes",
+                                   profile_nodes_json(cell.profile_nodes)}});
+    }
+    results.push_back(std::move(cell_json));
   }
-  return json::Object{
+  json::Object doc{
       {"schema_version", kBenchSchemaVersion},
       {"generated_by", "rrf_bench"},
       {"config",
@@ -212,16 +308,23 @@ json::Value report_to_json(const Report& report) {
            {"seed", report.config.seed},
            {"use_actuators", report.config.use_actuators},
            {"parallel_nodes", report.config.parallel_nodes},
+           {"profile", report.config.profile},
        }},
       {"results", std::move(results)},
   };
+  if (report.config.profile) {
+    doc.emplace_back("profile", profile_nodes_json(report.profile));
+  }
+  return doc;
 }
 
 void validate_report_json(const json::Value& doc) {
   check(doc.is_object(), "bench report: document must be an object");
   const double version = require_number(doc, "schema_version");
-  check(version == static_cast<double>(kBenchSchemaVersion),
-              "bench report: unsupported schema_version");
+  // v1 reports (no profile blocks) remain readable for comparisons.
+  check(version == 1.0 ||
+            version == static_cast<double>(kBenchSchemaVersion),
+        "bench report: unsupported schema_version");
   check(require_member(doc, "generated_by").is_string(),
               "bench report: 'generated_by' must be a string");
 
@@ -256,6 +359,33 @@ void validate_report_json(const json::Value& doc) {
     for (const char* name : kPhaseNames) {
       require_nonneg(phases, name);
     }
+    if (const json::Value* profile = cell.find("profile")) {
+      check(profile->is_object(),
+            "bench report: 'profile' must be an object");
+      require_nonneg(*profile, "coverage");
+      const json::Value& nodes = require_member(*profile, "nodes");
+      check(nodes.is_array(), "bench report: 'profile.nodes' is an array");
+      check(!nodes.as_array().empty(),
+            "bench report: 'profile.nodes' must not be empty");
+      for (const json::Value& node : nodes.as_array()) {
+        check(node.is_object(), "bench report: profile nodes are objects");
+        check(require_member(node, "path").is_string() &&
+                  !require_member(node, "path").as_string().empty(),
+              "bench report: profile node 'path' is a non-empty string");
+        require_nonneg(node, "self_seconds");
+        require_nonneg(node, "total_seconds");
+        require_nonneg(node, "calls");
+        require_nonneg(node, "bytes");
+      }
+    }
+  }
+}
+
+void write_collapsed_profile(std::ostream& os,
+                             const std::vector<ProfilePathNode>& nodes) {
+  for (const ProfilePathNode& n : nodes) {
+    const auto self_us = std::llround(n.self_seconds * 1e6);
+    if (self_us > 0) os << n.path << ' ' << self_us << '\n';
   }
 }
 

@@ -24,7 +24,9 @@
 namespace rrf::bench {
 
 /// Version of the emitted JSON document; bump on breaking layout changes.
-inline constexpr int kBenchSchemaVersion = 1;
+/// v2 added the optional per-cell/per-report "profile" blocks (hierarchical
+/// self-time attribution from obs/profiler) and integer-exact numbers.
+inline constexpr int kBenchSchemaVersion = 2;
 
 struct SweepPoint {
   std::size_t nodes;
@@ -45,6 +47,9 @@ struct HarnessConfig {
   /// Per-node parallelism.  Off by default for stable, scheduler-free
   /// timings; flip on to measure the thread-pool fan-out.
   bool parallel_nodes = false;
+  /// Attach the hierarchical profiler to the measured trials and attribute
+  /// per-phase self time into the report (schema v2 "profile" blocks).
+  bool profile = false;
   std::string label = "quick";
 };
 
@@ -54,6 +59,17 @@ HarnessConfig quick_config();
 
 /// The full sweep: adds larger node counts and a tenant-count axis.
 HarnessConfig full_config();
+
+/// One flattened call-tree node from the profiler: `path` is the
+/// ';'-joined site chain ("allocate;irt.allocate"), self/total in seconds
+/// over the cell's measured trials.
+struct ProfilePathNode {
+  std::string path;
+  double self_seconds{0.0};
+  double total_seconds{0.0};
+  std::uint64_t calls{0};
+  std::uint64_t bytes{0};
+};
 
 /// One (policy, sweep point) measurement.
 struct CellResult {
@@ -71,11 +87,19 @@ struct CellResult {
   /// Mean per-trial phase wall time (predict/allocate/actuate/settle),
   /// summed over nodes — the obs phase profiler's view.
   std::array<double, obs::kPhaseCount> phase_seconds{};
+  /// Profiler attribution over the measured trials (config.profile only):
+  /// fraction of pooled window wall the call-tree roots account for, and
+  /// the flattened self-time tree.
+  double profile_coverage{0.0};
+  std::vector<ProfilePathNode> profile_nodes;
 };
 
 struct Report {
   HarnessConfig config;
   std::vector<CellResult> cells;
+  /// Cell trees merged by path (config.profile only) — the report-level
+  /// flamegraph input.
+  std::vector<ProfilePathNode> profile;
 };
 
 /// Runs every (policy, point) cell; `progress` (optional) receives one
@@ -88,6 +112,11 @@ json::Value report_to_json(const Report& report);
 
 /// Schema check; throws DomainError naming the first violation.
 void validate_report_json(const json::Value& doc);
+
+/// Collapsed-stack flamegraph text ("path self_us" per line) from a
+/// flattened profile (cell- or report-level).
+void write_collapsed_profile(std::ostream& os,
+                             const std::vector<ProfilePathNode>& nodes);
 
 /// Renders a human-readable summary table of the report.
 std::string report_summary(const Report& report);

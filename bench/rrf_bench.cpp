@@ -9,7 +9,11 @@
 //   rrf_bench [--quick | --full] [--out PATH]
 //             [--policies rrf,drf,...] [--sweep NxVxT ...]
 //             [--trials N] [--warmup N] [--windows N] [--seed N]
-//             [--actuators] [--parallel] [--quiet]
+//             [--actuators] [--parallel] [--profile] [--quiet]
+//
+// --profile attaches the hierarchical profiler (obs/profiler) to the
+// measured trials: the report gains schema-v2 "profile" blocks and a
+// collapsed-stack flamegraph is written next to --out (.folded suffix).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,7 +35,7 @@ using namespace rrf;
       "usage: rrf_bench [--quick|--full] [--out PATH] [--policies a,b,c]\n"
       "                 [--sweep NxVxT]... [--trials N] [--warmup N]\n"
       "                 [--windows N] [--seed N] [--actuators] [--parallel]\n"
-      "                 [--quiet]\n");
+      "                 [--profile] [--quiet]\n");
   std::exit(2);
 }
 
@@ -114,6 +118,8 @@ int main(int argc, char** argv) {
       config.use_actuators = true;
     } else if (arg == "--parallel") {
       config.parallel_nodes = true;
+    } else if (arg == "--profile") {
+      config.profile = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -140,6 +146,20 @@ int main(int argc, char** argv) {
     out << doc.dump(2);
     std::cout << bench::report_summary(report);
     std::cout << "wrote " << out_path << "\n";
+    if (config.profile) {
+      const std::size_t dot = out_path.rfind('.');
+      const std::string folded_path =
+          (dot == std::string::npos ? out_path : out_path.substr(0, dot)) +
+          ".folded";
+      std::ofstream folded(folded_path);
+      if (!folded) {
+        std::fprintf(stderr, "rrf_bench: cannot open %s\n",
+                     folded_path.c_str());
+        return 1;
+      }
+      bench::write_collapsed_profile(folded, report.profile);
+      std::cout << "wrote " << folded_path << "\n";
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rrf_bench: %s\n", e.what());
     return 1;

@@ -15,33 +15,38 @@ named policy (typically the trivial `tshirt` static policy) *within the
 same report*.  The ratio "how much slower is RRF than a no-op
 allocation pass on this machine" is what the gate actually pins, and it
 transfers across machines.
+
+Besides the pass/fail gate, the tool attributes *where* a slowdown
+lives: for the worst-moving cell it ranks the engine phases
+(phase_seconds) by delta, and when both reports carry schema-v2
+"profile" blocks (rrf_bench --profile) it also ranks the merged
+call-tree paths by self-time delta.  Attribution is informational —
+only the cell-level gate decides the exit code.
 """
 
 import argparse
 import json
 import sys
 
+SUPPORTED_VERSIONS = (1, 2)
+
 
 def load_report(path):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     version = doc.get("schema_version")
-    if version != 1:
+    if version not in SUPPORTED_VERSIONS:
         raise SystemExit(
-            f"{path}: unsupported schema_version {version!r} (want 1)")
+            f"{path}: unsupported schema_version {version!r} "
+            f"(want one of {SUPPORTED_VERSIONS})")
     cells = doc.get("results")
     if not isinstance(cells, list) or not cells:
         raise SystemExit(f"{path}: no results")
-    return cells
+    return doc
 
 
 def cell_key(cell):
     return (cell["policy"], int(cell["nodes"]), int(cell["vms_per_node"]),
-            int(cell["tenants"]))
-
-
-def point_key(cell):
-    return (int(cell["nodes"]), int(cell["vms_per_node"]),
             int(cell["tenants"]))
 
 
@@ -72,6 +77,82 @@ def normalize(values, policy):
     return out
 
 
+def phase_deltas(base_cell, cur_cell):
+    """Per-phase (name, base_s, cur_s, delta_s) sorted by delta, worst first."""
+    base_phases = base_cell.get("phase_seconds") or {}
+    cur_phases = cur_cell.get("phase_seconds") or {}
+    rows = []
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        b = float(base_phases.get(name, 0.0))
+        c = float(cur_phases.get(name, 0.0))
+        rows.append((name, b, c, c - b))
+    rows.sort(key=lambda r: r[3], reverse=True)
+    return rows
+
+
+def profile_index(doc):
+    """Merged call-tree paths -> self_seconds, or None pre-v2 / unprofiled."""
+    nodes = doc.get("profile")
+    if not isinstance(nodes, list) or not nodes:
+        return None
+    return {n["path"]: float(n.get("self_seconds", 0.0)) for n in nodes}
+
+
+def print_attribution(base_doc, cur_doc, worst_key, scale):
+    """Name the phase (and, with profiles, the call-tree path) that moved.
+
+    `scale` rescales the current report's seconds onto the baseline
+    machine (the per-point normalization ratio); 1.0 when comparing raw.
+    """
+    policy, nodes, vms, tenants = worst_key
+    base_cell = next((c for c in base_doc["results"]
+                      if cell_key(c) == worst_key), None)
+    cur_cell = next((c for c in cur_doc["results"]
+                     if cell_key(c) == worst_key), None)
+    if base_cell is None or cur_cell is None:
+        return
+
+    print(f"\nattribution — {policy} {nodes}x{vms}x{tenants} "
+          f"(worst-moving cell):")
+    rows = phase_deltas(base_cell, cur_cell)
+    rows = [(n, b, c * scale, c * scale - b) for (n, b, c, _) in rows]
+    rows.sort(key=lambda r: r[3], reverse=True)
+    total = sum(r[3] for r in rows if r[3] > 0)
+    print(f"  {'phase':<10} {'baseline':>11} {'current':>11} {'delta':>11}")
+    for name, b, c, d in rows:
+        share = f"  ({d / total:.0%} of added time)" if (
+            total > 0 and d > 0) else ""
+        print(f"  {name:<10} {b:>10.4f}s {c:>10.4f}s {d:>+10.4f}s{share}")
+    top = rows[0]
+    if top[3] > 0:
+        print(f"  top-regressing phase: {top[0]} ({top[3]:+.4f}s)")
+    else:
+        print("  no phase slowed down")
+
+    # Call-tree attribution (schema v2, rrf_bench --profile on both runs):
+    # the merged report-level trees, ranked by self-time delta.
+    base_profile = profile_index(base_doc)
+    cur_profile = profile_index(cur_doc)
+    if base_profile is None or cur_profile is None:
+        print("  (run rrf_bench --profile on both reports for call-tree "
+              "attribution)")
+        return
+    movers = []
+    for path in set(base_profile) | set(cur_profile):
+        b = base_profile.get(path, 0.0)
+        c = cur_profile.get(path, 0.0) * scale
+        movers.append((path, b, c, c - b))
+    movers.sort(key=lambda r: abs(r[3]), reverse=True)
+    print("  call-tree self-time movers (merged over all cells):")
+    for path, b, c, d in movers[:5]:
+        print(f"    {d:>+9.4f}s  {path}  ({b:.4f}s -> {c:.4f}s)")
+    gainers = [m for m in movers if m[3] > 0]
+    if gainers:
+        worst = max(gainers, key=lambda r: r[3])
+        print(f"  top-regressing call-tree node: {worst[0]} "
+              f"({worst[3]:+.4f}s self)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -86,14 +167,19 @@ def main():
                         help="cells whose absolute baseline metric is below "
                              "this are reported but not gated (sub-0.1ms "
                              "cells are scheduler-jitter noise)")
+    parser.add_argument("--no-attribution", action="store_true",
+                        help="skip the per-phase / call-tree attribution "
+                             "section")
     args = parser.parse_args()
 
-    base_abs = index_cells(load_report(args.baseline), args.metric)
-    cur = index_cells(load_report(args.current), args.metric)
-    base = base_abs
+    base_doc = load_report(args.baseline)
+    cur_doc = load_report(args.current)
+    base_abs = index_cells(base_doc["results"], args.metric)
+    cur_abs = index_cells(cur_doc["results"], args.metric)
+    base, cur = base_abs, cur_abs
     if args.normalize:
         base = normalize(base_abs, args.normalize)
-        cur = normalize(cur, args.normalize)
+        cur = normalize(cur_abs, args.normalize)
 
     shared = sorted(set(base) & set(cur))
     if not shared:
@@ -104,9 +190,12 @@ def main():
               f"{'baseline':>12} {'current':>12} {'delta':>8}")
     print(header)
     regressions = []
+    worst = None  # (delta, key) — the most-slowed cell, gated or not
     for key in shared:
         b, c = base[key], cur[key]
         delta = (c - b) / b if b > 0 else 0.0
+        if worst is None or delta > worst[0]:
+            worst = (delta, key)
         gated = base_abs.get(key, 0.0) >= args.min_baseline_seconds
         flag = "" if gated else "  (not gated)"
         if gated and b > 0 and c > b * (1.0 + args.threshold):
@@ -121,6 +210,19 @@ def main():
     if missing:
         print(f"note: {len(missing)} baseline cell(s) absent from current "
               f"report", file=sys.stderr)
+
+    if not args.no_attribution and worst is not None:
+        # Rescale current seconds onto the baseline machine via the same
+        # per-point ratio the gate uses, so phase deltas aren't swamped by
+        # runner-speed differences.
+        key = worst[1]
+        scale = 1.0
+        if args.normalize and cur_abs.get(key, 0.0) > 0.0 and cur[key] > 0.0:
+            machine_base = base_abs[key] / base[key] if base[key] > 0 else 0.0
+            machine_cur = cur_abs[key] / cur[key]
+            if machine_base > 0.0 and machine_cur > 0.0:
+                scale = machine_base / machine_cur
+        print_attribution(base_doc, cur_doc, key, scale)
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} cell(s) regressed beyond "

@@ -11,9 +11,14 @@ guarantee:
                makes runs unreproducible.
   wall-clock   time()/std::chrono::system_clock outside src/obs/.
                Wall-clock timestamps in the decision path leak real time
-               into simulated state; observability may timestamp freely
-               (steady_clock is allowed everywhere: it never feeds
-               allocation decisions and phase timers need it).
+               into simulated state; observability may timestamp freely.
+  prof-clock   std::chrono::steady_clock outside src/obs/.  Monotonic
+               time never feeds allocation decisions, but scattering raw
+               clock reads through the codebase makes the wall-clock rule
+               unenforceable by accretion — timing belongs to the
+               profiler/phase scopes (src/obs/) and the handful of
+               infrastructure files granted in the allowlist (logger
+               timestamps, thread-pool/lock instrumentation).
   unordered    std::unordered_map/std::unordered_set in the deterministic
                paths (src/alloc, src/sim, src/cluster).  Iteration order
                is libstdc++-version- and hash-seed-dependent; use std::map
@@ -64,6 +69,13 @@ RULES = {
         lambda p: not p.startswith("src/obs/"),
         "wall-clock time outside obs/; simulated time must come from the "
         "engine clock",
+    ),
+    "prof-clock": (
+        re.compile(r"\bsteady_clock\b"),
+        lambda p: not p.startswith("src/obs/"),
+        "monotonic clock read outside obs/; route timing through "
+        "obs/profiler (ProfileScope) or obs/phase, or grant the file in "
+        "scripts/determinism_lint_allow.txt",
     ),
     "unordered": (
         re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),

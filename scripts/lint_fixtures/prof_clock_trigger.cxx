@@ -1,0 +1,9 @@
+// Fixture: must trigger [prof-clock].
+#include <chrono>
+
+double ad_hoc_monotonic_timer() {
+  const auto begin = std::chrono::steady_clock::now();  // finding: prof-clock
+  using clock = std::chrono::steady_clock;              // finding: prof-clock
+  const auto end = clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}

@@ -1,13 +1,10 @@
-// Fixture: must pass [wall-clock].  steady_clock is allowed everywhere
-// (monotonic, never feeds simulated state), and identifiers merely
-// containing "time" are fine.
-#include <chrono>
-
-double monotonic_phase_timer() {
-  const auto begin = std::chrono::steady_clock::now();
+// Fixture: must pass [wall-clock].  Simulated time advanced by the
+// engine clock is fine, and identifiers merely containing "time" are
+// fine — only real wall-clock reads (time(), system_clock) trigger.
+double simulated_time_in_decision_path() {
   double sim_time = 0.0;
   auto advance_time = [&](double dt) { sim_time += dt; };  // not time(
   advance_time(5.0);
-  const auto end = std::chrono::steady_clock::now();
-  return sim_time + std::chrono::duration<double>(end - begin).count();
+  const double uptime = sim_time;  // "time" substring, no call
+  return uptime;
 }

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
@@ -132,6 +133,7 @@ AllocationResult IrtAllocator::allocate_traced(
     const ResourceVector& capacity,
     std::span<const AllocationEntity> entities,
     std::vector<IrtTypeTrace>* traces) const {
+  obs::ProfileScope profile("irt.allocate");
   validate_entities(capacity, entities);
   const std::size_t p = capacity.size();
   const std::size_t m = entities.size();

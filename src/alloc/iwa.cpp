@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
@@ -124,6 +125,7 @@ IwaResult iwa_distribute(double tenant_total,
 
 IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
                                std::span<const AllocationEntity> vms) {
+  obs::ProfileScope profile("iwa.distribute");
   RRF_REQUIRE(!vms.empty(), "tenant with no VMs");
   const std::size_t p = tenant_total.size();
   const std::size_t n = vms.size();

@@ -5,6 +5,7 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
+#include "obs/profiler.hpp"
 
 namespace rrf::alloc {
 
@@ -25,6 +26,7 @@ AllocationEntity TenantGroup::aggregate() const {
 HierarchicalResult RrfAllocator::allocate_hierarchical(
     const ResourceVector& capacity,
     std::span<const TenantGroup> tenants) const {
+  obs::ProfileScope profile("rrf.hierarchical");
   RRF_REQUIRE(!tenants.empty(), "no tenants");
 
   // Level 1: IRT over the tenant aggregates.

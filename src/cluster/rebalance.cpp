@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 
 namespace rrf::cluster {
@@ -41,6 +42,7 @@ std::vector<double> pressures(
 RebalancePlan plan_rebalance(
     const std::vector<ResourceVector>& host_capacity,
     const std::vector<VmLoad>& vms, const RebalanceOptions& options) {
+  obs::ProfileScope profile("rebalance.plan");
   RRF_REQUIRE(!host_capacity.empty(), "no hosts");
   const std::size_t p = host_capacity.front().size();
 

@@ -1,0 +1,69 @@
+// Contention-counting mutex wrapper.
+//
+// InstrumentedMutex behaves exactly like std::mutex until a contention
+// hook is installed (the profiler does this when profiling turns on).
+// With no hook the cost over std::mutex is one relaxed pointer load per
+// lock(); with a hook, an acquisition that would block first tries
+// try_lock(), and on failure times the blocking wait and reports
+// (site, blocked_ns) to the hook.  The common layer only knows the hook
+// signature — the profiler in src/obs/ owns the aggregation — so
+// rrf_common keeps its no-upward-dependency layering.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace rrf {
+
+/// Called on the blocked thread after it finally acquires the lock.
+/// Must not itself acquire the mutex being reported.
+using MutexContentionHook = void (*)(const char* site,
+                                     std::uint64_t blocked_ns);
+
+namespace detail {
+inline std::atomic<MutexContentionHook> g_mutex_contention_hook{nullptr};
+}  // namespace detail
+
+inline void set_mutex_contention_hook(MutexContentionHook hook) {
+  detail::g_mutex_contention_hook.store(hook, std::memory_order_relaxed);
+}
+
+/// BasicLockable + Lockable: drop-in for std::mutex with
+/// std::lock_guard / std::unique_lock / std::condition_variable_any.
+/// `site` must have static storage duration (string literal).
+class InstrumentedMutex {
+ public:
+  explicit InstrumentedMutex(const char* site) : site_(site) {}
+
+  InstrumentedMutex(const InstrumentedMutex&) = delete;
+  InstrumentedMutex& operator=(const InstrumentedMutex&) = delete;
+
+  void lock() {
+    const MutexContentionHook hook =
+        detail::g_mutex_contention_hook.load(std::memory_order_relaxed);
+    if (hook == nullptr) {
+      mu_.lock();
+      return;
+    }
+    if (mu_.try_lock()) return;
+    const auto blocked_from = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto blocked_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - blocked_from)
+            .count();
+    hook(site_, static_cast<std::uint64_t>(blocked_ns));
+  }
+
+  bool try_lock() { return mu_.try_lock(); }
+
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  const char* site_;
+};
+
+}  // namespace rrf

@@ -21,6 +21,19 @@ void append_number(std::string& out, double d) {
     out += "null";
     return;
   }
+  // Integral values within the exactly-representable range print as plain
+  // integers: %g would render e.g. 30.0 as "3e+01" at low precision and
+  // 1e15 as "1e+15", neither of which reads (or diffs) like the integer
+  // counters and window counts these usually are.
+  // (-0.0 keeps the %g path so the sign survives the round-trip.)
+  if (d == std::floor(d) && std::fabs(d) <= 9007199254740992.0 &&
+      !(d == 0.0 && std::signbit(d))) {  // determinism-lint: allow(float-eq)
+    char ibuf[32];
+    std::snprintf(ibuf, sizeof(ibuf), "%lld",
+                  static_cast<long long>(d));
+    out += ibuf;
+    return;
+  }
   // Round-trip decimal form for a double in at most three probes: 15
   // significant digits suffice for most values, 17 for every double.  (A
   // 1..17 probe loop finds marginally shorter strings but costs ~6x more

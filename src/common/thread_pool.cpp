@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -14,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,17 +28,45 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  bool announced = false;
   for (;;) {
-    std::function<void()> task;
+    ThreadPoolObserver* const observer = thread_pool_observer();
+    if (observer != nullptr && !announced) {
+      observer->on_worker_start(worker_index);
+      announced = true;
+    }
+    std::chrono::steady_clock::time_point idle_from{};
+    if (observer != nullptr) idle_from = std::chrono::steady_clock::now();
+
+    QueuedTask task;
+    std::size_t depth_after = 0;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth_after = tasks_.size();
     }
-    task();
+
+    if (observer == nullptr) {
+      task.fn();
+      continue;
+    }
+    const auto dequeued = std::chrono::steady_clock::now();
+    const auto queue_wait =
+        task.stamped
+            ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  dequeued - task.enqueued)
+            : std::chrono::nanoseconds{0};
+    const auto idle = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        dequeued - idle_from);
+    observer->on_task_start(queue_wait, idle, depth_after);
+    task.fn();
+    observer->on_task_done(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - dequeued));
   }
 }
 
@@ -99,15 +128,25 @@ void ThreadPool::parallel_for(std::size_t n,
   // chunk counter exhausted; the caller participates too, so chunks
   // helpers is already one more stealer than strictly needed.
   const std::size_t helpers = std::min(thread_count(), ctx->chunks);
+  ThreadPoolObserver* const observer = thread_pool_observer();
   {
     std::lock_guard lock(mu_);
     RRF_REQUIRE(!stopping_, "parallel_for on a stopped pool");
     // One helper task per worker is enough: each steals chunks in a loop.
     for (std::size_t t = 0; t < helpers; ++t) {
-      tasks_.push([ctx] { ctx->run(); });
+      QueuedTask task;
+      task.fn = [ctx] { ctx->run(); };
+      if (observer != nullptr) {
+        task.enqueued = std::chrono::steady_clock::now();
+        task.stamped = true;
+      }
+      tasks_.push(std::move(task));
     }
   }
   cv_.notify_all();
+  if (observer != nullptr) {
+    observer->on_parallel_for(n, ctx->chunks, helpers);
+  }
 
   // The caller participates, then waits for stragglers.  `fn` must stay
   // alive until done == chunks, which this wait guarantees; the context

@@ -4,8 +4,16 @@
 // parallel across physical hosts — the same structure the paper deploys
 // (one allocator per node in domain 0).  Benches also use parallel_for for
 // parameter sweeps.
+//
+// The pool is observable: install a ThreadPoolObserver (the profiler does
+// on set_profiling_enabled(true)) and every dequeued task reports queue
+// wait, worker idle time, queue depth and execution time; parallel_for
+// reports its chunk/helper fan-out.  With no observer installed the only
+// extra cost per task is one relaxed pointer load — no clock is read.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -14,7 +22,40 @@
 #include <thread>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
+
 namespace rrf {
+
+/// Telemetry sink for pool activity.  Callbacks run on worker (or caller)
+/// threads outside the queue lock; implementations must be thread-safe.
+/// Install an immortal instance — uninstalling only swaps the pointer, so
+/// a worker mid-callback must never race a destructor.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// First task a worker dequeues while observed (names the thread).
+  virtual void on_worker_start(std::size_t worker_index) = 0;
+  /// A task was dequeued: time spent queued, time this worker sat idle
+  /// waiting for it, and queue depth after removal.
+  virtual void on_task_start(std::chrono::nanoseconds queue_wait,
+                             std::chrono::nanoseconds idle,
+                             std::size_t queue_depth) = 0;
+  virtual void on_task_done(std::chrono::nanoseconds exec) = 0;
+  /// A parallel_for dispatched to the pool (serial fallbacks not counted).
+  virtual void on_parallel_for(std::size_t n, std::size_t chunks,
+                               std::size_t helpers) = 0;
+};
+
+namespace detail {
+inline std::atomic<ThreadPoolObserver*> g_thread_pool_observer{nullptr};
+}  // namespace detail
+
+inline void set_thread_pool_observer(ThreadPoolObserver* observer) {
+  detail::g_thread_pool_observer.store(observer, std::memory_order_relaxed);
+}
+inline ThreadPoolObserver* thread_pool_observer() {
+  return detail::g_thread_pool_observer.load(std::memory_order_relaxed);
+}
 
 class ThreadPool {
  public:
@@ -38,12 +79,20 @@ class ThreadPool {
                     std::size_t grain = 1);
 
  private:
-  void worker_loop();
+  /// A queued task; `enqueued` is stamped only while an observer is
+  /// installed (keeps the unobserved enqueue path clock-free).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+    bool stamped{false};
+  };
+
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  std::queue<QueuedTask> tasks_;
+  InstrumentedMutex mu_{"thread_pool.queue"};
+  std::condition_variable_any cv_;
   bool stopping_{false};
 };
 

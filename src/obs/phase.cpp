@@ -15,6 +15,7 @@ double PhaseScope::stop() {
   stopped_ = true;
   const auto end = std::chrono::steady_clock::now();
   seconds_ = std::chrono::duration<double>(end - start_).count();
+  profile_.stop();  // close the phase's profiler frame at the same edge
   if (accumulate_) *accumulate_ += seconds_;
   if (metrics_enabled()) {
     // One stable histogram reference per phase; the registry outlives us.

@@ -8,12 +8,15 @@
 //  * observed into the `phase.<name>.seconds` histogram when metrics are
 //    enabled;
 //  * recorded as a kPhase duration event when tracing is enabled (these
-//    render as slices in chrome://tracing, one track per node).
+//    render as slices in chrome://tracing, one track per node);
+//  * opened as a ProfileScope frame when profiling is enabled, so every
+//    phase is a root (or parent) node in the hierarchical profile.
 #pragma once
 
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace rrf::obs {
@@ -30,6 +33,7 @@ class PhaseScope {
         node_(node),
         window_(window),
         accumulate_(accumulate_seconds),
+        profile_(to_string(phase)),
         start_(std::chrono::steady_clock::now()) {}
 
   PhaseScope(const PhaseScope&) = delete;
@@ -45,6 +49,7 @@ class PhaseScope {
   std::int32_t node_;
   std::int32_t window_;
   double* accumulate_;
+  ProfileScope profile_;  ///< the phase's frame in the call-tree profile
   std::chrono::steady_clock::time_point start_;
   bool stopped_{false};
   double seconds_{0.0};

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"  // os_thread_id, profiled_thread_names
 
 namespace rrf::obs {
 
@@ -64,6 +65,7 @@ double EventTracer::to_us(std::chrono::steady_clock::time_point tp) const {
 
 void EventTracer::record(TraceEvent e) {
   if (e.ts_us < 0.0) e.ts_us = now_us();
+  if (e.tid < 0) e.tid = os_thread_id();
   std::lock_guard lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
@@ -110,7 +112,8 @@ namespace {
 
 void write_event_jsonl(std::ostream& os, const TraceEvent& e) {
   os << "{\"kind\":\"" << to_string(e.kind) << "\",\"ts_us\":" << e.ts_us
-     << ",\"dur_us\":" << e.dur_us << ",\"node\":" << e.node
+     << ",\"dur_us\":" << e.dur_us << ",\"tid\":" << e.tid
+     << ",\"node\":" << e.node
      << ",\"tenant\":" << e.tenant << ",\"vm\":" << e.vm
      << ",\"window\":" << e.window
      << ",\"resource\":" << static_cast<int>(e.resource)
@@ -159,6 +162,7 @@ std::vector<TraceEvent> EventTracer::read_jsonl(std::istream& is) {
     e.kind = *kind;
     e.ts_us = num_field(line, "ts_us");
     e.dur_us = num_field(line, "dur_us");
+    e.tid = static_cast<std::int32_t>(num_field(line, "tid", -1.0));
     e.node = static_cast<std::int32_t>(num_field(line, "node", -1.0));
     e.tenant = static_cast<std::int32_t>(num_field(line, "tenant", -1.0));
     e.vm = static_cast<std::int32_t>(num_field(line, "vm", -1.0));
@@ -175,10 +179,18 @@ std::vector<TraceEvent> EventTracer::read_jsonl(std::istream& is) {
 void EventTracer::write_chrome_trace(std::ostream& os) const {
   os << "{\"traceEvents\":[\n";
   bool first = true;
+  // Tracks are real OS threads now, so label the ones the profiler knows
+  // about ("main", "pool/worker-N") with thread_name metadata events.
+  for (const auto& [tid, name] : profiled_thread_names()) {
+    os << (first ? "" : ",\n");
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
   for (const TraceEvent& e : events()) {
     os << (first ? "" : ",\n");
     first = false;
-    const int tid = e.node >= 0 ? e.node : 0;
+    const int tid = e.tid >= 0 ? e.tid : 0;
     if (e.kind == EventKind::kPhase) {
       const char* name =
           e.phase >= 0 && e.phase < static_cast<int>(kPhaseCount)
@@ -186,14 +198,14 @@ void EventTracer::write_chrome_trace(std::ostream& os) const {
               : "phase";
       os << "{\"name\":\"" << name << "\",\"cat\":\"phase\",\"ph\":\"X\""
          << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
-         << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"window\":"
-         << e.window << "}}";
+         << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"node\":" << e.node
+         << ",\"window\":" << e.window << "}}";
     } else {
       os << "{\"name\":\"" << to_string(e.kind)
          << "\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\""
          << ",\"ts\":" << e.ts_us << ",\"pid\":0,\"tid\":" << tid
-         << ",\"args\":{\"tenant\":" << e.tenant << ",\"vm\":" << e.vm
-         << ",\"window\":" << e.window
+         << ",\"args\":{\"node\":" << e.node << ",\"tenant\":" << e.tenant
+         << ",\"vm\":" << e.vm << ",\"window\":" << e.window
          << ",\"resource\":" << static_cast<int>(e.resource)
          << ",\"value\":" << e.value << ",\"value2\":" << e.value2 << "}}";
     }

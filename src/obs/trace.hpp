@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "obs/metrics.hpp"  // kCompiledIn
 
 namespace rrf::obs {
@@ -64,6 +65,7 @@ struct TraceEvent {
   std::int8_t resource{-1};  ///< resource-type index, -1 when n/a
   double ts_us{-1.0};        ///< µs since tracer epoch (stamped by record())
   double dur_us{0.0};        ///< kPhase only
+  std::int32_t tid{-1};      ///< OS thread id (stamped by record())
   std::int32_t node{-1};
   std::int32_t tenant{-1};   ///< tenant/entity index, -1 when n/a
   std::int32_t vm{-1};
@@ -98,7 +100,7 @@ class EventTracer {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
+  mutable InstrumentedMutex mu_{"tracer.ring"};
   std::vector<TraceEvent> ring_;
   std::size_t next_{0};        ///< ring slot the next event lands in
   std::uint64_t recorded_{0};

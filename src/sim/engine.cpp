@@ -16,11 +16,13 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
+#include "common/instrumented_mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
@@ -350,6 +352,10 @@ SimResult run_simulation(const Scenario& scenario,
                          const EngineConfig& config) {
   RRF_REQUIRE(config.window > 0.0 && config.duration >= config.window,
               "bad window/duration");
+  // Profiler root covering everything before the first window (node/HV
+  // construction, auditor setup); closed explicitly below so the window
+  // loop's own roots are not nested under it.
+  obs::ProfileScope setup_profile("engine.setup");
   const auto& cl = scenario.cluster;
   const PricingModel& pricing = cl.pricing();
   const std::size_t tenant_count = cl.tenants().size();
@@ -422,7 +428,7 @@ SimResult run_simulation(const Scenario& scenario,
   std::vector<double> tenant_gained(tenant_count, 0.0);
   std::vector<double> tenant_lambda(tenant_count, 0.0);
   std::vector<double> node_pressure(host_count, 0.0);
-  std::mutex aggregate_mu;
+  InstrumentedMutex aggregate_mu("engine.aggregate");
 
   std::vector<double> tenant_share_sum(tenant_count, 0.0);
   for (std::size_t t = 0; t < tenant_count; ++t) {
@@ -468,6 +474,8 @@ SimResult run_simulation(const Scenario& scenario,
   std::vector<obs::FlightNode> flight_nodes(flight_on ? host_count : 0);
   obs::ProvenanceRound rebalance_prov;
 
+  setup_profile.stop();
+
   for (std::size_t w = 0; w < windows; ++w) {
     const Seconds now = static_cast<double>(w) * config.window;
     if (flight_on) rebalance_prov.clear();
@@ -475,6 +483,7 @@ SimResult run_simulation(const Scenario& scenario,
     // ---- epoch-level live migration (load balancing) ----
     if (config.rebalance.enabled && w > 0 &&
         w % config.rebalance.every_windows == 0) {
+      obs::ProfileScope rebalance_profile("window.rebalance");
       std::vector<ResourceVector> capacities;
       capacities.reserve(host_count);
       for (std::size_t h = 0; h < host_count; ++h) {
@@ -552,6 +561,7 @@ SimResult run_simulation(const Scenario& scenario,
     }
 
     // Sample per-VM demands once per tenant (shared by all nodes).
+    obs::ProfileScope demands_profile("window.demands");
     std::vector<std::vector<ResourceVector>> demands(tenant_count);
     for (std::size_t t = 0; t < tenant_count; ++t) {
       demands[t] = scenario.workloads[t]->vm_demands_at(now);
@@ -568,6 +578,7 @@ SimResult run_simulation(const Scenario& scenario,
     std::fill(tenant_gained.begin(), tenant_gained.end(), 0.0);
     std::fill(tenant_lambda.begin(), tenant_lambda.end(), 0.0);
     std::fill(node_pressure.begin(), node_pressure.end(), 0.0);
+    demands_profile.stop();
 
     auto process_node = [&](std::size_t h) {
       NodeState& node = nodes[h];
@@ -808,11 +819,20 @@ SimResult run_simulation(const Scenario& scenario,
       }
     };
 
-    if (config.parallel_nodes && host_count > 1) {
-      global_pool().parallel_for(host_count, process_node);
-    } else {
-      for (std::size_t h = 0; h < host_count; ++h) process_node(h);
+    {
+      // Covers the per-node fan-out plus its glue; in the serial path the
+      // four phase frames nest under it, in the parallel path they root in
+      // the worker threads' own arenas.
+      obs::ProfileScope dispatch_profile("window.dispatch");
+      if (config.parallel_nodes && host_count > 1) {
+        global_pool().parallel_for(host_count, process_node);
+      } else {
+        for (std::size_t h = 0; h < host_count; ++h) process_node(h);
+      }
     }
+
+    // ---- window tail: per-tenant roll-ups and observer fan-out ----
+    obs::ProfileScope finalize_profile("window.finalize");
 
     if (flight_on) {
       obs::FlightRound round;

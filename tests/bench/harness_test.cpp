@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -80,11 +81,67 @@ TEST(BenchHarness, SchemaRejectsBrokenDocuments) {
                DomainError);
   // Wrong schema version.
   std::string versioned = good;
-  const std::size_t v = versioned.find("\"schema_version\":1");
+  const std::size_t v = versioned.find("\"schema_version\":2");
   ASSERT_NE(v, std::string::npos);
   versioned.replace(v, 18, "\"schema_version\":99");
   EXPECT_THROW(bench::validate_report_json(json::Value::parse(versioned)),
                DomainError);
+}
+
+TEST(BenchHarness, ProfileModeAttributesTheRoundTotal) {
+  bench::HarnessConfig config = tiny_config();
+  config.profile = true;
+  const bool profiling_before = obs::profiling_enabled();
+  const bench::Report report = bench::run_harness(config);
+  // run_harness restores the caller's profiling switch.
+  EXPECT_EQ(obs::profiling_enabled(), profiling_before);
+
+  ASSERT_EQ(report.cells.size(), 2u);
+  for (const bench::CellResult& cell : report.cells) {
+    ASSERT_FALSE(cell.profile_nodes.empty());
+    // The call-tree roots must account for (nearly) the whole measured
+    // round total.  The 5% acceptance bound is checked on the real
+    // --quick sweep (CI validates coverage per cell); this cell's rounds
+    // are microseconds, where one scheduler preemption in inter-scope
+    // glue moves the ratio tens of percent, so only sanity bounds hold
+    // reliably under a fully parallel ctest run.
+    EXPECT_GT(cell.profile_coverage, 0.40);
+    EXPECT_LT(cell.profile_coverage, 2.00);
+    for (const bench::ProfilePathNode& node : cell.profile_nodes) {
+      EXPECT_FALSE(node.path.empty());
+      EXPECT_GE(node.self_seconds, 0.0);
+      EXPECT_LE(node.self_seconds, node.total_seconds + 1e-9);
+      EXPECT_GT(node.calls, 0u);
+    }
+  }
+  // The merged report-level tree exists and includes the allocate phase.
+  ASSERT_FALSE(report.profile.empty());
+  bool saw_allocate = false;
+  for (const bench::ProfilePathNode& node : report.profile) {
+    if (node.path.find("allocate") != std::string::npos) saw_allocate = true;
+  }
+  EXPECT_TRUE(saw_allocate);
+
+  // Schema v2: per-cell and top-level profile blocks validate and parse.
+  const json::Value doc = bench::report_to_json(report);
+  EXPECT_NO_THROW(bench::validate_report_json(doc));
+  const json::Value reparsed = json::Value::parse(doc.dump(2));
+  EXPECT_NO_THROW(bench::validate_report_json(reparsed));
+  ASSERT_NE(reparsed.find("profile"), nullptr);
+  EXPECT_FALSE(reparsed.find("profile")->as_array().empty());
+  const json::Value& cell = reparsed.find("results")->as_array()[0];
+  ASSERT_NE(cell.find("profile"), nullptr);
+  EXPECT_NE(cell.find("profile")->find("coverage"), nullptr);
+  EXPECT_NE(cell.find("profile")->find("nodes"), nullptr);
+  EXPECT_EQ(reparsed.find("config")->find("profile")->as_bool(), true);
+}
+
+TEST(BenchHarness, UnprofiledReportsCarryNoProfileBlocks) {
+  const bench::Report report = bench::run_harness(tiny_config());
+  const json::Value doc = bench::report_to_json(report);
+  EXPECT_EQ(doc.find("profile"), nullptr);
+  EXPECT_EQ(doc.find("results")->as_array()[0].find("profile"), nullptr);
+  EXPECT_EQ(doc.find("config")->find("profile")->as_bool(), false);
 }
 
 TEST(BenchHarness, QuickConfigCoversPinnedRegressionCell) {

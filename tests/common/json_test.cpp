@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace {
@@ -44,6 +46,28 @@ TEST(Json, NumbersRoundTripExactly) {
                          0.1, 6.02214076e23}) {
     const json::Value parsed = json::Value::parse(json::Value(d).dump());
     EXPECT_EQ(parsed.as_number(), d);
+  }
+}
+
+TEST(Json, IntegralValuesDumpAsPlainIntegers) {
+  // The %g fast path used to render small integral doubles in scientific
+  // notation ("windows": 3e+01); integral values within the exact double
+  // range must print like the integers they are.
+  EXPECT_EQ(json::Value(30.0).dump(), "30");
+  EXPECT_EQ(json::Value(-30.0).dump(), "-30");
+  EXPECT_EQ(json::Value(40.0).dump(), "40");
+  EXPECT_EQ(json::Value(1e15).dump(), "1000000000000000");
+  EXPECT_EQ(json::Value(9007199254740992.0).dump(), "9007199254740992");
+  EXPECT_EQ(json::Value(0.0).dump(), "0");
+  // Above 2^53 integers are not exactly representable; the round-trip
+  // %g path takes over.  Non-integral and signed-zero values keep it too.
+  EXPECT_EQ(json::Value(1e16).dump(), "1e+16");
+  EXPECT_EQ(json::Value(0.5).dump(), "0.5");
+  EXPECT_EQ(json::Value(-0.0).dump(), "-0");
+  for (const double d : {30.0, 1e15, -7.0, 9007199254740992.0, -0.0}) {
+    const json::Value parsed = json::Value::parse(json::Value(d).dump());
+    EXPECT_EQ(parsed.as_number(), d);
+    EXPECT_EQ(std::signbit(parsed.as_number()), std::signbit(d));
   }
 }
 

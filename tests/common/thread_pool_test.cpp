@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -154,6 +155,79 @@ TEST(ThreadPool, GlobalPoolIsAlive) {
   std::atomic<int> c{0};
   global_pool().parallel_for(10, [&](std::size_t) { c.fetch_add(1); });
   EXPECT_EQ(c.load(), 10);
+}
+
+namespace {
+/// Counts observer callbacks; durations are only sanity-checked (>= 0).
+class CountingObserver final : public ThreadPoolObserver {
+ public:
+  void on_worker_start(std::size_t) override {
+    workers_started.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_task_start(std::chrono::nanoseconds queue_wait,
+                     std::chrono::nanoseconds idle,
+                     std::size_t queue_depth) override {
+    tasks_started.fetch_add(1, std::memory_order_relaxed);
+    if (queue_wait.count() < 0 || idle.count() < 0) {
+      negative_durations.store(true, std::memory_order_relaxed);
+    }
+    (void)queue_depth;
+  }
+  void on_task_done(std::chrono::nanoseconds exec) override {
+    tasks_done.fetch_add(1, std::memory_order_relaxed);
+    if (exec.count() < 0) {
+      negative_durations.store(true, std::memory_order_relaxed);
+    }
+  }
+  void on_parallel_for(std::size_t n, std::size_t chunks,
+                       std::size_t helpers) override {
+    parallel_fors.fetch_add(1, std::memory_order_relaxed);
+    last_n.store(n, std::memory_order_relaxed);
+    last_chunks.store(chunks, std::memory_order_relaxed);
+    last_helpers.store(helpers, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::size_t> workers_started{0};
+  std::atomic<std::size_t> tasks_started{0};
+  std::atomic<std::size_t> tasks_done{0};
+  std::atomic<std::size_t> parallel_fors{0};
+  std::atomic<std::size_t> last_n{0};
+  std::atomic<std::size_t> last_chunks{0};
+  std::atomic<std::size_t> last_helpers{0};
+  std::atomic<bool> negative_durations{false};
+};
+}  // namespace
+
+TEST(ThreadPool, ObserverSeesDispatchedWorkAndUninstallsCleanly) {
+  CountingObserver observer;
+  ThreadPoolObserver* const previous = thread_pool_observer();
+  set_thread_pool_observer(&observer);
+
+  std::atomic<int> c{0};
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(64, [&](std::size_t) { c.fetch_add(1); });
+    EXPECT_EQ(c.load(), 64);
+    // on_parallel_for fires synchronously on the caller for pool
+    // dispatches only.
+    EXPECT_EQ(observer.parallel_fors.load(), 1u);
+    EXPECT_EQ(observer.last_n.load(), 64u);
+    EXPECT_GE(observer.last_chunks.load(), 1u);
+    EXPECT_LE(observer.last_helpers.load(), pool.thread_count());
+    // Serial fallback (n <= grain) bypasses the queue and is not counted.
+    pool.parallel_for(3, [&](std::size_t) { c.fetch_add(1); }, /*grain=*/8);
+    EXPECT_EQ(observer.parallel_fors.load(), 1u);
+  }
+  // The pool is joined: every helper task that started also finished.
+  EXPECT_EQ(observer.tasks_started.load(), observer.tasks_done.load());
+  EXPECT_FALSE(observer.negative_durations.load());
+
+  // After uninstalling, a fresh pool's work goes unobserved.
+  set_thread_pool_observer(previous);
+  const std::size_t tasks_before = observer.tasks_started.load();
+  ThreadPool quiet(2);
+  quiet.parallel_for(64, [&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(observer.tasks_started.load(), tasks_before);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/phase.hpp"
+#include "obs/profiler.hpp"
 
 namespace rrf::obs {
 namespace {
@@ -134,6 +135,8 @@ TEST(ObsTrace, JsonlRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(parsed[0].dur_us, 123.5);
   EXPECT_EQ(parsed[0].node, 7);
   EXPECT_EQ(parsed[0].window, 42);
+  // record() stamps the recording thread's OS id and it round-trips.
+  EXPECT_EQ(parsed[0].tid, os_thread_id());
 
   EXPECT_EQ(parsed[1].kind, EventKind::kBalloonTransfer);
   EXPECT_EQ(parsed[1].tenant, 2);
@@ -173,7 +176,15 @@ TEST(ObsTrace, ChromeTraceRendersPhasesAsSlicesAndEventsAsInstants) {
   EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"irt_trade\""), std::string::npos);
   EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
-  EXPECT_NE(text.find("\"tid\":3"), std::string::npos);
+  // The tid is the real OS thread id of the recording thread; the node id
+  // moved into args.
+  const std::string tid_member =
+      "\"tid\":" + std::to_string(os_thread_id());
+  EXPECT_NE(text.find(tid_member), std::string::npos);
+  if (os_thread_id() != 3) {
+    EXPECT_EQ(text.find("\"tid\":3,"), std::string::npos);
+  }
+  EXPECT_NE(text.find("\"node\":3"), std::string::npos);
 }
 
 TEST(ObsTrace, EventKindNamesRoundTrip) {

@@ -24,6 +24,7 @@
 #include "alloc/rrf.hpp"
 #include "common/rng.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/flight_replay.hpp"
 #include "sim/synthetic.hpp"
@@ -263,6 +264,59 @@ TEST(GoldenAlloc, EngineCaptureIsIdenticalWithRecordingEnabled) {
   ASSERT_FALSE(detached.empty());
   for (std::size_t i = 0; i < detached.size(); ++i) {
     ASSERT_EQ(detached[i], attached[i]) << "line " << i;
+  }
+}
+
+// The hierarchical profiler must be observation-only: running the same
+// simulation with profiling enabled yields bit-identical allocations
+// (ProfileScope frames, the operator-new byte hook, the thread-pool
+// observer and the instrumented mutexes never touch decision state).
+TEST(GoldenAlloc, EngineCaptureIsIdenticalWithProfilingEnabled) {
+  sim::SyntheticConfig syn;
+  syn.nodes = 3;
+  syn.vms_per_node = 5;
+  syn.tenants = 4;
+  syn.seed = 77;
+  const sim::Scenario scenario = sim::make_synthetic_scenario(syn);
+
+  auto capture = [&](bool profiled) {
+    const bool before = obs::profiling_enabled();
+    obs::set_profiling_enabled(profiled);
+    sim::EngineConfig config;
+    config.policy = sim::PolicyKind::kRrf;
+    config.window = 5.0;
+    config.duration = 30.0;
+    config.use_actuators = true;
+    config.parallel_nodes = false;
+    config.audit.enabled = false;
+    std::vector<std::string> lines;
+    config.observer = [&](const sim::WindowSnapshot& snapshot) {
+      for (std::size_t t = 0; t < snapshot.tenant_position.size(); ++t) {
+        lines.push_back("w" + std::to_string(snapshot.window) + " t" +
+                        std::to_string(t) + " " +
+                        hex(snapshot.tenant_position[t]));
+      }
+    };
+    sim::run_simulation(scenario, config);
+    obs::set_profiling_enabled(before);
+    return lines;
+  };
+
+  const std::vector<std::string> unprofiled = capture(false);
+  const std::vector<std::string> profiled = capture(true);
+  // The profiler did see the run (sanity: the switch was actually on).
+  const obs::ProfileSnapshot snapshot = obs::profile_snapshot();
+  bool saw_allocate = false;
+  for (const obs::ProfileNode& n : snapshot.merged) {
+    if (n.site == "rrf.hierarchical") saw_allocate = true;
+  }
+  EXPECT_TRUE(saw_allocate);
+  obs::profile_reset();
+
+  ASSERT_EQ(unprofiled.size(), profiled.size());
+  ASSERT_FALSE(unprofiled.empty());
+  for (std::size_t i = 0; i < unprofiled.size(); ++i) {
+    ASSERT_EQ(unprofiled[i], profiled[i]) << "line " << i;
   }
 }
 

@@ -15,6 +15,7 @@
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -35,6 +36,9 @@ using namespace rrf;
       "                    JSONL if the path ends in .jsonl\n"
       "  --metrics <path>  write a metrics snapshot; JSON, or CSV/.prom by\n"
       "                    extension (Prometheus text format for .prom)\n"
+      "  --profile <path>  attach the hierarchical profiler to the round;\n"
+      "                    Chrome trace JSON if the path ends in .json,\n"
+      "                    collapsed-stack flamegraph text otherwise\n"
       "  <csv>       entity file, or '-' for stdin\n";
   std::exit(code);
 }
@@ -54,7 +58,26 @@ bool ends_with(const std::string& s, std::string_view suffix) {
 }
 
 void write_observability_outputs(const std::string& trace_path,
-                                 const std::string& metrics_path) {
+                                 const std::string& metrics_path,
+                                 const std::string& profile_path) {
+  if (!profile_path.empty()) {
+    const obs::ProfileSnapshot snapshot = obs::profile_snapshot();
+    if (obs::metrics_enabled()) {
+      obs::publish_profile_metrics(obs::metrics(), snapshot);
+    }
+    std::ofstream out(profile_path);
+    if (!out) {
+      std::cerr << "cannot open " << profile_path << " for writing\n";
+      std::exit(1);
+    }
+    if (ends_with(profile_path, ".json")) {
+      obs::write_chrome_profile(out, snapshot);
+    } else {
+      obs::write_collapsed(out, snapshot);
+    }
+    std::cout << "wrote " << profile_path << " (" << snapshot.merged.size()
+              << " call-tree sites)\n";
+  }
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);
     if (!out) {
@@ -95,6 +118,7 @@ int main(int argc, char** argv) {
   std::string record_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,12 +132,15 @@ int main(int argc, char** argv) {
     else if (arg == "--record") record_path = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--metrics") metrics_path = next();
+    else if (arg == "--profile") profile_path = next();
     else if (input_path.empty()) input_path = arg;
     else usage(2);
   }
   if (capacity_text.empty() || input_path.empty()) usage(2);
   obs::set_tracing_enabled(!trace_path.empty());
   obs::set_metrics_enabled(!metrics_path.empty());
+  obs::set_profiling_enabled(!profile_path.empty());
+  if (obs::profiling_enabled()) obs::set_thread_name("main");
 
   try {
     const ResourceVector capacity = parse_vector(capacity_text);
@@ -149,7 +176,7 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << record_path << " ("
                 << recorder.bytes_written() << " bytes)\n";
     }
-    write_observability_outputs(trace_path, metrics_path);
+    write_observability_outputs(trace_path, metrics_path, profile_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -26,6 +26,7 @@
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/flight_replay.hpp"
 #include "sim/synthetic.hpp"
@@ -58,6 +59,9 @@ struct CliOptions {
   /// Observability outputs (empty = the subsystem stays disabled).
   std::string trace_path;
   std::string metrics_path;
+  /// Hierarchical profiler output: Chrome trace JSON if the path ends in
+  /// .json, collapsed-stack flamegraph text otherwise.
+  std::string profile_path;
   /// Flight-recorder output (JSONL); empty = recording off.
   std::string record_path;
   /// Live Prometheus exposition: port to serve /metrics on (-1 = off,
@@ -101,6 +105,12 @@ struct CliOptions {
       "                      timing histograms); JSON, or CSV if the path\n"
       "                      ends in .csv, or Prometheus text format if it\n"
       "                      ends in .prom\n"
+      "  --profile <path>    attach the hierarchical profiler (per-thread\n"
+      "                      call trees, pool + lock contention telemetry);\n"
+      "                      writes Chrome trace JSON if the path ends in\n"
+      "                      .json, collapsed-stack flamegraph text\n"
+      "                      otherwise.  Also feeds profile.* gauges into\n"
+      "                      --metrics / --serve-metrics output.\n"
       "  --serve-metrics <p> serve the live registry over HTTP on port <p>\n"
       "                      (0 picks an ephemeral port): GET /metrics is\n"
       "                      Prometheus text format, /metrics.json the JSON\n"
@@ -150,6 +160,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--record") options.record_path = next(i);
     else if (arg == "--trace") options.trace_path = next(i);
     else if (arg == "--metrics") options.metrics_path = next(i);
+    else if (arg == "--profile") options.profile_path = next(i);
     else if (arg == "--serve-metrics") options.serve_port = std::stoi(next(i));
     else if (arg == "--serve-hold") options.serve_hold = std::stod(next(i));
     else if (arg == "--workloads") {
@@ -242,6 +253,24 @@ void write_observability_outputs(const CliOptions& options) {
     }
     std::cout << ")\n";
   }
+  if (!options.profile_path.empty()) {
+    const obs::ProfileSnapshot snapshot = obs::profile_snapshot();
+    if (obs::metrics_enabled()) {
+      // Land profile.* gauges in the same snapshot/exposition as the
+      // engine's own counters.
+      obs::publish_profile_metrics(obs::metrics(), snapshot);
+    }
+    std::ofstream out = open_output(options.profile_path);
+    if (ends_with(options.profile_path, ".json")) {
+      obs::write_chrome_profile(out, snapshot);
+    } else {
+      obs::write_collapsed(out, snapshot);
+    }
+    std::size_t sites = snapshot.merged.size();
+    std::cout << "wrote " << options.profile_path << " (" << sites
+              << " call-tree sites over " << snapshot.threads.size()
+              << " thread(s))\n";
+  }
   if (!options.metrics_path.empty()) {
     std::ofstream out = open_output(options.metrics_path);
     if (ends_with(options.metrics_path, ".csv")) {
@@ -283,6 +312,8 @@ int main(int argc, char** argv) {
   obs::set_tracing_enabled(!options.trace_path.empty());
   obs::set_metrics_enabled(!options.metrics_path.empty() ||
                            options.serve_port >= 0);
+  obs::set_profiling_enabled(!options.profile_path.empty());
+  if (obs::profiling_enabled()) obs::set_thread_name("main");
 
   std::unique_ptr<obs::ExpositionServer> server;
   if (options.serve_port >= 0) {
