@@ -158,17 +158,68 @@ bool FairnessAuditor::update_rule(Rule& rule, bool violated, bool recovered,
                                   AlertKind kind, std::int32_t tenant,
                                   std::size_t window, double value,
                                   double threshold) {
+  rule.last_value = value;
+  rule.last_threshold = threshold;
   if (!rule.active) {
     if (violated) {
       rule.active = true;
       ++rule.raised;
+      rule.raised_window = window;
+      transitions_.push_back(
+          AlertTransition{kind, tenant, window, /*raised=*/true, value,
+                          threshold});
       raise(kind, tenant, window, value, threshold);
       return true;
     }
     return false;
   }
-  if (recovered) rule.active = false;
+  if (recovered) {
+    rule.active = false;
+    rule.resolved_window = window;
+    transitions_.push_back(AlertTransition{kind, tenant, window,
+                                           /*raised=*/false, value,
+                                           threshold});
+  }
   return false;
+}
+
+std::span<const AlertTransition> FairnessAuditor::transitions_since(
+    std::size_t from) const {
+  if (from >= transitions_.size()) return {};
+  return std::span<const AlertTransition>(transitions_).subspan(from);
+}
+
+std::vector<AlertStatus> FairnessAuditor::alert_statuses() const {
+  std::vector<AlertStatus> out;
+  const auto collect = [&](const Rule& rule, AlertKind kind,
+                           std::int32_t tenant) {
+    if (rule.raised == 0) return;
+    AlertStatus status;
+    status.kind = kind;
+    status.tenant = tenant;
+    if (tenant >= 0) status.tenant_name = names_[static_cast<std::size_t>(tenant)];
+    status.active = rule.active;
+    status.raised_window = rule.raised_window;
+    status.resolved_window = rule.resolved_window;
+    status.raise_count = rule.raised;
+    status.value = rule.last_value;
+    status.threshold = rule.last_threshold;
+    out.push_back(std::move(status));
+  };
+  collect(jain_rule_, AlertKind::kJain, -1);
+  const auto collect_all = [&](const std::vector<Rule>& rules, AlertKind kind) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      collect(rules[i], kind, static_cast<std::int32_t>(i));
+    }
+  };
+  collect_all(drift_rules_, AlertKind::kBetaDrift);
+  collect_all(starvation_rules_, AlertKind::kStarvation);
+  collect_all(reciprocity_rules_, AlertKind::kReciprocity);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AlertStatus& a, const AlertStatus& b) {
+                     return a.active > b.active;
+                   });
+  return out;
 }
 
 void FairnessAuditor::publish_gauges(const AuditRound& round) {

@@ -85,6 +85,33 @@ struct Alert {
   double threshold{0.0};    ///< the configured limit it crossed
 };
 
+/// One raise/resolve edge of a rule's hysteresis state machine, in the
+/// order it happened.  The ops plane turns these into journal records
+/// and `/alerts` document refreshes.
+struct AlertTransition {
+  AlertKind kind{AlertKind::kJain};
+  std::int32_t tenant{-1};  ///< -1 for cluster-wide alerts
+  std::size_t window{0};
+  bool raised{true};  ///< false = the rule recovered past its hysteresis
+  double value{0.0};
+  double threshold{0.0};
+};
+
+/// Current hysteresis state of one rule that has raised at least once:
+/// whether it is still active, when it last raised/resolved, the last
+/// value the rule compared and how often it has raised over the run.
+struct AlertStatus {
+  AlertKind kind{AlertKind::kJain};
+  std::int32_t tenant{-1};
+  std::string tenant_name;  ///< empty for cluster-wide rules
+  bool active{false};
+  std::size_t raised_window{0};
+  std::size_t resolved_window{0};  ///< meaningful when !active
+  std::size_t raise_count{0};
+  double value{0.0};  ///< last value the rule evaluated
+  double threshold{0.0};
+};
+
 /// One allocation round's audit inputs, all indexed by tenant and in
 /// *shares* (the ledger domain).  `contributed`/`gained` are the
 /// tenant-funded amounts from the economic ledger: shares of a tenant's
@@ -125,11 +152,26 @@ class FairnessAuditor {
   std::size_t alert_count(AlertKind kind) const;
   /// Alerts currently active (raised and not yet recovered).
   std::size_t active_alerts() const;
+  /// Every raise/resolve edge so far, in the order it happened.  The ops
+  /// plane drains this after each round (see transitions_since) to feed
+  /// the telemetry journal and the `/alerts` document.
+  const std::vector<AlertTransition>& transitions() const {
+    return transitions_;
+  }
+  /// Transitions with index >= `from` (a cursor the caller advances).
+  std::span<const AlertTransition> transitions_since(std::size_t from) const;
+  /// Hysteresis state of every rule that raised at least once, active
+  /// rules first (each group ordered by kind, then tenant).
+  std::vector<AlertStatus> alert_statuses() const;
 
  private:
   struct Rule {
     bool active{false};
     std::size_t raised{0};
+    std::size_t raised_window{0};
+    std::size_t resolved_window{0};
+    double last_value{0.0};
+    double last_threshold{0.0};
   };
 
   /// Threshold/hysteresis state machine shared by all rules.  `violated`
@@ -158,6 +200,7 @@ class FairnessAuditor {
   std::vector<Rule> starvation_rules_;
   std::vector<Rule> reciprocity_rules_;
   std::vector<Alert> alerts_;
+  std::vector<AlertTransition> transitions_;
 
   // Cached instrument references (stable for the registry's lifetime).
   Gauge* jain_gauge_;

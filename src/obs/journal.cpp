@@ -1,0 +1,358 @@
+#include "obs/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace rrf::obs {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw DomainError("journal: " + message);
+}
+
+const json::Value& field(const json::Value& object, const char* key) {
+  const json::Value* v = object.find(key);
+  if (v == nullptr) fail(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+double num_field(const json::Value& object, const char* key) {
+  const json::Value& v = field(object, key);
+  if (!v.is_number()) fail(std::string("field '") + key + "' is not a number");
+  return v.as_number();
+}
+
+std::size_t size_field(const json::Value& object, const char* key) {
+  const double d = num_field(object, key);
+  if (d < 0.0 || d != std::floor(d)) {
+    fail(std::string("field '") + key + "' is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::int32_t int_field(const json::Value& object, const char* key) {
+  const double d = num_field(object, key);
+  if (d != std::floor(d)) {
+    fail(std::string("field '") + key + "' is not an integer");
+  }
+  return static_cast<std::int32_t>(d);
+}
+
+std::string str_field(const json::Value& object, const char* key) {
+  const json::Value& v = field(object, key);
+  if (!v.is_string()) fail(std::string("field '") + key + "' is not a string");
+  return v.as_string();
+}
+
+bool bool_field(const json::Value& object, const char* key) {
+  const json::Value& v = field(object, key);
+  if (!v.is_bool()) fail(std::string("field '") + key + "' is not a bool");
+  return v.as_bool();
+}
+
+std::string rotated_path(const std::string& path) { return path + ".1"; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+json::Value journal_header_to_json(const JournalHeader& header) {
+  json::Object out;
+  out.emplace_back("schema", kJournalSchemaName);
+  out.emplace_back("version", header.version);
+  out.emplace_back("kind", header.kind);
+  out.emplace_back("policy", header.policy);
+  json::Array tenants;
+  tenants.reserve(header.tenants.size());
+  for (const std::string& t : header.tenants) tenants.emplace_back(t);
+  out.emplace_back("tenants", std::move(tenants));
+  out.emplace_back("segment", header.segment);
+  out.emplace_back("continued", header.continued);
+  return out;
+}
+
+JournalHeader journal_header_from_json(const json::Value& value) {
+  if (!value.is_object()) fail("header is not an object");
+  if (str_field(value, "schema") != kJournalSchemaName) {
+    fail("not a telemetry journal (schema tag '" + str_field(value, "schema") +
+         "')");
+  }
+  JournalHeader header;
+  header.version = int_field(value, "version");
+  if (header.version != kJournalSchemaVersion) {
+    fail("unsupported version " + std::to_string(header.version) +
+         " (this build reads version " +
+         std::to_string(kJournalSchemaVersion) + ")");
+  }
+  header.kind = str_field(value, "kind");
+  header.policy = str_field(value, "policy");
+  const json::Value& tenants = field(value, "tenants");
+  if (!tenants.is_array()) fail("field 'tenants' is not an array");
+  for (const json::Value& t : tenants.as_array()) {
+    if (!t.is_string()) fail("tenant name is not a string");
+    header.tenants.push_back(t.as_string());
+  }
+  header.segment = size_field(value, "segment");
+  header.continued = bool_field(value, "continued");
+  return header;
+}
+
+json::Value journal_alert_to_json(const JournalAlert& alert) {
+  json::Object out;
+  out.emplace_back("t", "alert");
+  out.emplace_back("state", alert.raised ? "raised" : "resolved");
+  out.emplace_back("kind", alert.kind);
+  out.emplace_back("tenant", alert.tenant);
+  out.emplace_back("tenant_name", alert.tenant_name);
+  out.emplace_back("window", alert.window);
+  out.emplace_back("value", alert.value);
+  out.emplace_back("threshold", alert.threshold);
+  return out;
+}
+
+JournalAlert journal_alert_from_json(const json::Value& value) {
+  if (!value.is_object()) fail("alert record is not an object");
+  if (str_field(value, "t") != "alert") fail("record tag is not 'alert'");
+  JournalAlert alert;
+  const std::string state = str_field(value, "state");
+  if (state != "raised" && state != "resolved") {
+    fail("alert state '" + state + "' is neither 'raised' nor 'resolved'");
+  }
+  alert.raised = state == "raised";
+  alert.kind = str_field(value, "kind");
+  alert.tenant = int_field(value, "tenant");
+  alert.tenant_name = str_field(value, "tenant_name");
+  alert.window = size_field(value, "window");
+  alert.value = num_field(value, "value");
+  alert.threshold = num_field(value, "threshold");
+  return alert;
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Segment {
+  JournalHeader header;
+  std::vector<RoundSummary> rounds;
+  std::vector<JournalAlert> alerts;
+  std::optional<JournalEnd> end;
+  bool truncated_tail{false};
+};
+
+/// Parses one segment file.  A final line that fails to parse as JSON is
+/// the expected kill signature and sets truncated_tail; everything else
+/// throws.
+Segment load_segment(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  Segment seg;
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value value;
+    try {
+      value = json::Value::parse(line);
+    } catch (const DomainError& e) {
+      if (in.peek() == std::char_traits<char>::eof()) {
+        seg.truncated_tail = true;
+        break;
+      }
+      fail(path + " line " + std::to_string(line_no) + ": " + e.what());
+    }
+    try {
+      if (!have_header) {
+        seg.header = journal_header_from_json(value);
+        have_header = true;
+        continue;
+      }
+      if (seg.end.has_value()) {
+        fail("record after the end record");
+      }
+      if (!value.is_object()) fail("record is not an object");
+      const std::string tag = str_field(value, "t");
+      if (tag == "round") {
+        seg.rounds.push_back(round_summary_from_json(value));
+      } else if (tag == "alert") {
+        seg.alerts.push_back(journal_alert_from_json(value));
+      } else if (tag == "end") {
+        JournalEnd end;
+        end.rounds = size_field(value, "rounds");
+        end.alerts = size_field(value, "alerts");
+        seg.end = end;
+      } else {
+        fail("unknown record tag '" + tag + "'");
+      }
+    } catch (const DomainError& e) {
+      fail(path + " line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (!have_header) fail(path + ": empty journal (no header line)");
+  return seg;
+}
+
+}  // namespace
+
+JournalData JournalData::load_file(const std::string& path) {
+  {
+    // SIGKILL can land inside the rotation window — after the active
+    // segment was renamed to `<path>.1` but before the next one opened.
+    // Only the rotated file exists then; it holds the whole surviving
+    // history and is the forensic trail, not an error.
+    std::ifstream active_probe(path);
+    if (!active_probe) {
+      std::ifstream rotated_probe(rotated_path(path));
+      if (rotated_probe) {
+        rotated_probe.close();
+        Segment only = load_segment(rotated_path(path));
+        JournalData data;
+        data.header = only.header;
+        data.rounds = std::move(only.rounds);
+        data.alerts = std::move(only.alerts);
+        data.end = only.end;
+        data.truncated_tail = only.truncated_tail;
+        data.notes.push_back(path +
+                             " is missing but its rotated segment exists — "
+                             "the run was killed mid-rotation");
+        return data;
+      }
+    }
+  }
+  Segment active = load_segment(path);
+  JournalData data;
+  data.header = active.header;
+  data.end = active.end;
+  data.truncated_tail = active.truncated_tail;
+
+  if (active.header.continued && active.header.segment > 0) {
+    const std::string prev_path = rotated_path(path);
+    std::ifstream probe(prev_path);
+    if (!probe) {
+      data.notes.push_back("rotated segment " + prev_path +
+                           " is missing; older records were lost");
+    } else {
+      probe.close();
+      try {
+        Segment prev = load_segment(prev_path);
+        if (prev.header.segment + 1 != active.header.segment ||
+            prev.header.kind != active.header.kind ||
+            prev.header.policy != active.header.policy) {
+          data.notes.push_back("ignoring " + prev_path +
+                               ": its header does not chain to the active "
+                               "segment");
+        } else {
+          data.header = prev.header;
+          data.rounds = std::move(prev.rounds);
+          data.alerts = std::move(prev.alerts);
+          if (prev.truncated_tail) {
+            data.notes.push_back(prev_path +
+                                 ": rotated segment has a truncated final "
+                                 "line");
+          }
+        }
+      } catch (const DomainError& e) {
+        data.notes.push_back("ignoring " + prev_path + ": " + e.what());
+      }
+    }
+  }
+
+  data.rounds.insert(data.rounds.end(),
+                     std::make_move_iterator(active.rounds.begin()),
+                     std::make_move_iterator(active.rounds.end()));
+  data.alerts.insert(data.alerts.end(),
+                     std::make_move_iterator(active.alerts.begin()),
+                     std::make_move_iterator(active.alerts.end()));
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryJournal
+// ---------------------------------------------------------------------------
+
+TelemetryJournal::TelemetryJournal(Options options)
+    : options_(std::move(options)) {
+  if (options_.path.empty()) fail("journal path is empty");
+  // A `.1` segment left behind by a previous run must not merge into
+  // this run's history.
+  std::remove(rotated_path(options_.path).c_str());
+  open_segment();
+}
+
+TelemetryJournal::~TelemetryJournal() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a failed final flush surfaces through
+    // the stream's state, which callers own.
+  }
+}
+
+void TelemetryJournal::open_segment() {
+  out_.open(options_.path, std::ios::trunc);
+  if (!out_) fail("cannot open " + options_.path);
+  segment_bytes_ = 0;
+  JournalHeader header;
+  header.kind = options_.kind;
+  header.policy = options_.policy;
+  header.tenants = options_.tenants;
+  header.segment = segment_;
+  header.continued = segment_ > 0;
+  write_line(journal_header_to_json(header).dump());
+}
+
+void TelemetryJournal::write_line(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();  // durability beats throughput: lose at most one line
+  segment_bytes_ += line.size() + 1;
+  bytes_written_ += line.size() + 1;
+}
+
+void TelemetryJournal::maybe_rotate() {
+  if (options_.max_bytes == 0) return;
+  if (segment_bytes_ <= options_.max_bytes / 2) return;
+  out_.close();
+  // rename() is atomic on POSIX: a crash mid-rotation leaves either the
+  // old layout or the new one, never a half file.
+  std::rename(options_.path.c_str(), rotated_path(options_.path).c_str());
+  ++segment_;
+  open_segment();
+}
+
+void TelemetryJournal::record_round(const RoundSummary& summary) {
+  if (finished_) fail("record_round after finish");
+  maybe_rotate();
+  write_line(round_summary_to_json(summary).dump());
+  ++rounds_;
+}
+
+void TelemetryJournal::record_alert(const JournalAlert& alert) {
+  if (finished_) fail("record_alert after finish");
+  maybe_rotate();
+  write_line(journal_alert_to_json(alert).dump());
+  ++alerts_;
+}
+
+void TelemetryJournal::finish() {
+  if (finished_) return;
+  finished_ = true;
+  json::Object end;
+  end.emplace_back("t", "end");
+  end.emplace_back("rounds", rounds_);
+  end.emplace_back("alerts", alerts_);
+  write_line(json::Value(std::move(end)).dump());
+  out_.close();
+}
+
+}  // namespace rrf::obs

@@ -1,0 +1,149 @@
+// Durable telemetry journal: append-only, schema-versioned JSONL of
+// round summaries and alert transitions (observability subsystem, see
+// docs/OBSERVABILITY.md "Live ops plane").
+//
+// Where the flight recorder captures *allocation decisions* for
+// bit-exact replay, the journal captures *operator telemetry* — the same
+// RoundSummary objects the `/rounds` feed streams, plus every
+// FairnessAuditor raise/resolve edge — so a crashed or killed run
+// leaves a forensically useful trail on disk.  The framing follows the
+// flightrec conventions:
+//   line 1    — header: {"schema":"rrf-telemetry","version":1,"kind",
+//               "policy","tenants",segment,"continued"};
+//   lines 2.. — {"t":"round",...} (obs/ops.hpp round shape) and
+//               {"t":"alert","state":"raised"|"resolved",...} records,
+//               interleaved in emission order;
+//   last line — an optional {"t":"end","rounds","alerts"} record,
+//               written on clean shutdown only.  Its absence is the
+//               crash marker.
+//
+// Durability beats throughput here: every record is flushed to the OS
+// as it is written, so a SIGKILL loses at most the in-flight line (the
+// loader tolerates one truncated final line).  Disk use is bounded by
+// two-segment rotation: when the active file exceeds max_bytes/2 it is
+// renamed to `<path>.1` and a fresh segment (header `segment` + 1,
+// "continued":true) starts, keeping at most ~max_bytes on disk while
+// always retaining the most recent half of the history.  The loader
+// merges `<path>.1` + `<path>` back into one stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/ops.hpp"
+
+namespace rrf::obs {
+
+/// Journal format version this build reads and writes.
+inline constexpr int kJournalSchemaVersion = 1;
+/// Value of the header's "schema" tag.
+inline constexpr const char* kJournalSchemaName = "rrf-telemetry";
+
+struct JournalHeader {
+  int version{kJournalSchemaVersion};
+  std::string kind;    ///< "sim" (engine run) or "alloc" (one-shot round)
+  std::string policy;  ///< sharing policy name
+  std::vector<std::string> tenants;
+  std::size_t segment{0};  ///< rotation generation (0 = first)
+  bool continued{false};   ///< true when older records were rotated away
+};
+
+/// One persisted alert raise/resolve edge.
+struct JournalAlert {
+  std::string kind;  ///< "jain" | "beta_drift" | "starvation" | "reciprocity"
+  bool raised{true};
+  std::int32_t tenant{-1};  ///< -1 for cluster-wide alerts
+  std::string tenant_name;  ///< empty for cluster-wide alerts
+  std::size_t window{0};
+  double value{0.0};
+  double threshold{0.0};
+};
+
+struct JournalEnd {
+  std::size_t rounds{0};
+  std::size_t alerts{0};
+};
+
+// ---- serialization (shared by the writer, the loader and tests) ----
+json::Value journal_header_to_json(const JournalHeader& header);
+json::Value journal_alert_to_json(const JournalAlert& alert);
+JournalHeader journal_header_from_json(const json::Value& value);
+JournalAlert journal_alert_from_json(const json::Value& value);
+
+/// A fully loaded journal (both rotation segments merged).
+struct JournalData {
+  JournalHeader header;  ///< oldest loaded segment's header
+  std::vector<RoundSummary> rounds;
+  std::vector<JournalAlert> alerts;
+  std::optional<JournalEnd> end;  ///< absent = the run did not shut down
+                                  ///  cleanly (or is still writing)
+  /// True when the final line of the newest segment was cut mid-record
+  /// (the expected SIGKILL signature); the partial line is discarded.
+  bool truncated_tail{false};
+  /// Loader observations that are not errors (e.g. a `<path>.1` segment
+  /// ignored because its header does not chain to the active one).
+  std::vector<std::string> notes;
+
+  /// Loads `<path>` and, when present and chaining, `<path>.1` before
+  /// it.  Throws DomainError ("journal: ...") on schema violations —
+  /// wrong schema tag/version, mistyped fields, or corruption anywhere
+  /// except a truncated final line.
+  static JournalData load_file(const std::string& path);
+};
+
+/// Appends telemetry records to a JSONL file with two-segment rotation.
+class TelemetryJournal {
+ public:
+  struct Options {
+    std::string path;
+    /// Approximate total disk budget across both segments (0 =
+    /// unbounded, no rotation).  Rotation triggers at max_bytes/2.
+    std::size_t max_bytes = 0;
+    std::string kind = "sim";
+    std::string policy;
+    std::vector<std::string> tenants;
+  };
+
+  /// Opens (truncates) the journal, deletes a stale `<path>.1` from a
+  /// previous run and writes the segment-0 header.  Throws DomainError
+  /// when the file cannot be opened.
+  explicit TelemetryJournal(Options options);
+  ~TelemetryJournal();
+  TelemetryJournal(const TelemetryJournal&) = delete;
+  TelemetryJournal& operator=(const TelemetryJournal&) = delete;
+
+  /// Appends one record and flushes it to the OS.  Single-producer:
+  /// call from one thread at a time (the engine thread).
+  void record_round(const RoundSummary& summary);
+  void record_alert(const JournalAlert& alert);
+
+  /// Writes the end record and closes the file.  Idempotent; called by
+  /// the destructor if the caller forgot.
+  void finish();
+
+  std::size_t rounds_recorded() const { return rounds_; }
+  std::size_t alerts_recorded() const { return alerts_; }
+  std::size_t segment() const { return segment_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void write_line(const std::string& line);
+  void open_segment();
+  void maybe_rotate();
+
+  Options options_;
+  std::ofstream out_;
+  std::size_t segment_{0};
+  std::uint64_t segment_bytes_{0};
+  std::uint64_t bytes_written_{0};
+  std::size_t rounds_{0};
+  std::size_t alerts_{0};
+  bool finished_{false};
+};
+
+}  // namespace rrf::obs

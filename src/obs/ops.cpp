@@ -1,0 +1,218 @@
+#include "obs/ops.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/audit.hpp"
+
+namespace rrf::obs {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw DomainError("ops: " + message);
+}
+
+const json::Value& field(const json::Value& object, const char* key) {
+  const json::Value* v = object.find(key);
+  if (v == nullptr) fail(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+double num_field(const json::Value& object, const char* key) {
+  const json::Value& v = field(object, key);
+  if (!v.is_number()) fail(std::string("field '") + key + "' is not a number");
+  return v.as_number();
+}
+
+std::size_t size_field(const json::Value& object, const char* key) {
+  const double d = num_field(object, key);
+  if (d < 0.0 || d != std::floor(d)) {
+    fail(std::string("field '") + key + "' is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::string str_field(const json::Value& object, const char* key) {
+  const json::Value& v = field(object, key);
+  if (!v.is_string()) fail(std::string("field '") + key + "' is not a string");
+  return v.as_string();
+}
+
+}  // namespace
+
+json::Value round_summary_to_json(const RoundSummary& summary) {
+  json::Object out;
+  out.emplace_back("t", "round");
+  out.emplace_back("window", summary.window);
+  out.emplace_back("time", summary.time);
+  out.emplace_back("jain", summary.jain);
+  out.emplace_back("slots", summary.slots);
+  json::Object phases;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phases.emplace_back(to_string(static_cast<Phase>(i)),
+                        summary.phase_seconds[i]);
+  }
+  out.emplace_back("phase_seconds", std::move(phases));
+  out.emplace_back("active_alerts", summary.active_alerts);
+  out.emplace_back("alerts_total", summary.alerts_total);
+  json::Array tenants;
+  tenants.reserve(summary.tenants.size());
+  for (const TenantRoundStat& t : summary.tenants) {
+    json::Object tenant;
+    tenant.emplace_back("name", t.name);
+    tenant.emplace_back("share", t.share);
+    tenant.emplace_back("demand", t.demand);
+    tenant.emplace_back("contributed", t.contributed);
+    tenant.emplace_back("gained", t.gained);
+    tenants.emplace_back(std::move(tenant));
+  }
+  out.emplace_back("tenants", std::move(tenants));
+  return out;
+}
+
+RoundSummary round_summary_from_json(const json::Value& value) {
+  if (!value.is_object()) fail("round record is not an object");
+  if (str_field(value, "t") != "round") fail("record tag is not 'round'");
+  RoundSummary out;
+  out.window = size_field(value, "window");
+  out.time = num_field(value, "time");
+  out.jain = num_field(value, "jain");
+  out.slots = size_field(value, "slots");
+  const json::Value& phases = field(value, "phase_seconds");
+  if (!phases.is_object()) fail("field 'phase_seconds' is not an object");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out.phase_seconds[i] =
+        num_field(phases, to_string(static_cast<Phase>(i)));
+  }
+  out.active_alerts = size_field(value, "active_alerts");
+  out.alerts_total = size_field(value, "alerts_total");
+  const json::Value& tenants = field(value, "tenants");
+  if (!tenants.is_array()) fail("field 'tenants' is not an array");
+  out.tenants.reserve(tenants.as_array().size());
+  for (const json::Value& t : tenants.as_array()) {
+    if (!t.is_object()) fail("tenant entry is not an object");
+    TenantRoundStat stat;
+    stat.name = str_field(t, "name");
+    stat.share = num_field(t, "share");
+    stat.demand = num_field(t, "demand");
+    stat.contributed = num_field(t, "contributed");
+    stat.gained = num_field(t, "gained");
+    out.tenants.push_back(std::move(stat));
+  }
+  return out;
+}
+
+json::Value alerts_document(const FairnessAuditor& auditor) {
+  json::Array active;
+  json::Array resolved;
+  for (const AlertStatus& status : auditor.alert_statuses()) {
+    json::Object entry;
+    entry.emplace_back("kind", to_string(status.kind));
+    entry.emplace_back("tenant", status.tenant >= 0
+                                     ? json::Value(status.tenant_name)
+                                     : json::Value(nullptr));
+    entry.emplace_back("raised_window", status.raised_window);
+    if (!status.active) {
+      entry.emplace_back("resolved_window", status.resolved_window);
+    }
+    entry.emplace_back("value", status.value);
+    entry.emplace_back("threshold", status.threshold);
+    entry.emplace_back("raise_count", status.raise_count);
+    (status.active ? active : resolved).emplace_back(std::move(entry));
+  }
+  json::Object counts;
+  for (std::size_t k = 0; k < kAlertKindCount; ++k) {
+    counts.emplace_back(to_string(static_cast<AlertKind>(k)),
+                        auditor.alert_count(static_cast<AlertKind>(k)));
+  }
+  json::Object out;
+  out.emplace_back("windows", auditor.windows());
+  out.emplace_back("active", std::move(active));
+  out.emplace_back("resolved", std::move(resolved));
+  out.emplace_back("counts", std::move(counts));
+  out.emplace_back("total", auditor.alerts().size());
+  return out;
+}
+
+std::string empty_alerts_document() {
+  return R"({"windows":0,"active":[],"resolved":[],"total":0})";
+}
+
+OpsHub::OpsHub(Config config)
+    : config_(config), alerts_json_(empty_alerts_document()) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+void OpsHub::publish_round(const RoundSummary& summary) {
+  std::string line = round_summary_to_json(summary).dump();
+  {
+    std::lock_guard lock(mu_);
+    lines_.push_back(std::move(line));
+    while (lines_.size() > config_.ring_capacity) {
+      lines_.pop_front();
+      ++base_seq_;
+    }
+    ++rounds_;
+    any_round_ = true;
+    last_round_ = std::chrono::steady_clock::now();
+  }
+  cv_.notify_all();
+}
+
+void OpsHub::set_alerts_json(std::string body) {
+  std::lock_guard lock(mu_);
+  alerts_json_ = std::move(body);
+}
+
+std::string OpsHub::alerts_json() const {
+  std::lock_guard lock(mu_);
+  return alerts_json_;
+}
+
+std::uint64_t OpsHub::rounds_published() const {
+  std::lock_guard lock(mu_);
+  return rounds_;
+}
+
+std::uint64_t OpsHub::oldest_seq() const {
+  std::lock_guard lock(mu_);
+  return base_seq_;
+}
+
+std::uint64_t OpsHub::next_seq() const {
+  std::lock_guard lock(mu_);
+  return base_seq_ + lines_.size();
+}
+
+std::size_t OpsHub::wait_lines(std::uint64_t* cursor,
+                               std::vector<std::string>* out,
+                               std::chrono::milliseconds timeout,
+                               std::uint64_t* dropped) const {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return base_seq_ + lines_.size() > *cursor; });
+  if (*cursor < base_seq_) {
+    if (dropped != nullptr) *dropped += base_seq_ - *cursor;
+    *cursor = base_seq_;
+  }
+  std::size_t appended = 0;
+  while (*cursor < base_seq_ + lines_.size()) {
+    out->push_back(lines_[static_cast<std::size_t>(*cursor - base_seq_)]);
+    ++*cursor;
+    ++appended;
+  }
+  return appended;
+}
+
+double OpsHub::seconds_since_round() const {
+  std::lock_guard lock(mu_);
+  if (!any_round_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_round_)
+      .count();
+}
+
+}  // namespace rrf::obs

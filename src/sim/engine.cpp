@@ -17,10 +17,13 @@
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
 #include "common/instrumented_mutex.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ops.hpp"
 #include "obs/phase.hpp"
 #include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
@@ -464,6 +467,14 @@ SimResult run_simulation(const Scenario& scenario,
     config.recorder->set_tenants(std::move(names));
   }
 
+  // ---- live ops plane (round summaries + alert transitions) ----
+  const bool ops_on = config.ops != nullptr || config.journal != nullptr;
+  // Cumulative per-phase seconds at the previous window tail, so each
+  // RoundSummary carries this window's delta alone.
+  std::array<double, obs::kPhaseCount> ops_phase_prev{};
+  // Auditor transitions already drained into the journal / alerts doc.
+  std::size_t ops_transition_cursor = 0;
+
   // ---- flight recorder (allocation provenance) ----
   // Per-node capture buffers; each is filled by the one worker thread that
   // owns the node this window, so no lock is needed.  Everything stays
@@ -889,6 +900,67 @@ SimResult run_simulation(const Scenario& scenario,
       round.contribution_lambda = tenant_lambda;
       round.node_pressure = node_pressure;
       auditor->observe_round(round);
+    }
+
+    if (ops_on) {
+      obs::RoundSummary summary;
+      summary.window = w;
+      summary.time = now;
+      std::vector<double> share_ratio(tenant_count, 0.0);
+      bool any_share = false;
+      summary.tenants.reserve(tenant_count);
+      for (std::size_t t = 0; t < tenant_count; ++t) {
+        obs::TenantRoundStat stat;
+        stat.name = cl.tenants()[t].name;
+        const double initial = tenant_share_sum[t];
+        stat.share = tenant_granted[t].sum() / initial;
+        stat.demand = tenant_demand_shares[t].sum() / initial;
+        stat.contributed = tenant_contributed[t];
+        stat.gained = tenant_gained[t];
+        share_ratio[t] = stat.share;
+        any_share = any_share || stat.share > 0.0;
+        summary.tenants.push_back(std::move(stat));
+      }
+      summary.jain = any_share ? jain_index(share_ratio) : 1.0;
+      for (const auto& node : nodes) {
+        summary.slots += node.slots.size();
+      }
+      for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+        double cumulative = 0.0;
+        for (const auto& node : nodes) cumulative += node.phase_seconds[i];
+        summary.phase_seconds[i] = cumulative - ops_phase_prev[i];
+        ops_phase_prev[i] = cumulative;
+      }
+      std::span<const obs::AlertTransition> fresh;
+      if (auditor) {
+        summary.active_alerts = auditor->active_alerts();
+        summary.alerts_total = auditor->alerts().size();
+        fresh = auditor->transitions_since(ops_transition_cursor);
+      }
+      if (config.journal != nullptr) {
+        for (const obs::AlertTransition& tr : fresh) {
+          obs::JournalAlert alert;
+          alert.kind = obs::to_string(tr.kind);
+          alert.raised = tr.raised;
+          alert.tenant = tr.tenant;
+          if (tr.tenant >= 0) {
+            alert.tenant_name =
+                cl.tenants()[static_cast<std::size_t>(tr.tenant)].name;
+          }
+          alert.window = tr.window;
+          alert.value = tr.value;
+          alert.threshold = tr.threshold;
+          config.journal->record_alert(alert);
+        }
+        config.journal->record_round(summary);
+      }
+      ops_transition_cursor += fresh.size();
+      if (config.ops != nullptr) {
+        if (auditor) {
+          config.ops->set_alerts_json(obs::alerts_document(*auditor).dump());
+        }
+        config.ops->publish_round(summary);
+      }
     }
 
     if (config.recorder != nullptr) {

@@ -23,6 +23,8 @@
 
 namespace rrf::obs {
 class FlightRecorder;
+class OpsHub;
+class TelemetryJournal;
 }  // namespace rrf::obs
 
 namespace rrf::sim {
@@ -114,6 +116,17 @@ struct EngineConfig {
   /// and calls finish() after.  Not owned; nullptr disables capture and
   /// keeps the hot path allocation-free.
   obs::FlightRecorder* flight = nullptr;
+  /// Optional live ops hub (obs/ops.hpp): the engine publishes one
+  /// RoundSummary per window (per-tenant share/demand ratios, reciprocity
+  /// flows, Jain, phase timings, alert counts) and refreshes the hub's
+  /// /alerts document from the auditor.  Not owned; nullptr keeps the hot
+  /// path free of summary building.
+  obs::OpsHub* ops = nullptr;
+  /// Optional durable telemetry journal (obs/journal.hpp): the engine
+  /// appends the same round summaries plus every auditor alert
+  /// raise/resolve transition.  Not owned; the caller opens it (header)
+  /// and calls finish() after the run.
+  obs::TelemetryJournal* journal = nullptr;
   /// Optional per-window callback (custom metrics, live dashboards,
   /// convergence studies).  Called on the simulation thread after every
   /// window; must not throw.

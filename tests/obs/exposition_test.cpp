@@ -8,10 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
+#include "obs/ops.hpp"
 
 namespace rrf::obs {
 namespace {
@@ -53,6 +59,50 @@ std::string http_get(std::uint16_t port, const std::string& target) {
   }
   ::close(fd);
   return response;
+}
+
+/// Splits a raw HTTP response and de-chunks the body when the response
+/// used chunked transfer encoding.
+std::string body_of(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return {};
+  std::string raw = response.substr(head_end + 4);
+  if (response.substr(0, head_end).find("chunked") == std::string::npos) {
+    return raw;
+  }
+  std::string body;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) break;
+    const std::size_t size = std::strtoul(raw.c_str() + pos, nullptr, 16);
+    if (size == 0) break;
+    body.append(raw, eol + 2, size);
+    pos = eol + 2 + size + 2;
+  }
+  return body;
+}
+
+std::vector<std::string> ndjson_lines(const std::string& body) {
+  std::vector<std::string> lines;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+RoundSummary make_round(std::size_t window) {
+  RoundSummary summary;
+  summary.window = window;
+  summary.jain = 0.95;
+  summary.slots = 4;
+  TenantRoundStat stat;
+  stat.name = "t0";
+  stat.share = 1.0;
+  summary.tenants.push_back(stat);
+  return summary;
 }
 
 TEST(ObsExposition, LabeledBuildsRegistryKeys) {
@@ -197,6 +247,241 @@ TEST(ObsExposition, ServerServesMetricsHealthAndNotFound) {
   server.stop();
   EXPECT_FALSE(server.running());
   server.stop();  // idempotent
+}
+
+TEST(ObsExposition, StructuralLabelCharactersRoundTripTheRegistryKey) {
+  // Tenant names are operator input: commas, equals signs, braces and
+  // backslashes must survive the registry-key framing...
+  const std::string key = labeled("g", {{"tenant", R"(a,b=c{d}e\f)"}});
+  const PrometheusName parsed = prometheus_name(key);
+  ASSERT_EQ(parsed.labels.size(), 1u);
+  EXPECT_EQ(parsed.labels[0].second, R"(a,b=c{d}e\f)");
+}
+
+TEST(ObsExposition, QuoteAndNewlineTenantNamesRenderEscaped) {
+  // ...and quote/newline must come out escaped per the Prometheus
+  // exposition spec (satellite regression: tenant named `evil"\n`).
+  MetricsRegistry registry;
+  registry.gauge(labeled("fairness.tenant_beta", {{"tenant", "evil\"\nname"}}))
+      .set(1.0);
+  std::ostringstream os;
+  write_prometheus(os, registry);
+  EXPECT_NE(
+      os.str().find("rrf_fairness_tenant_beta{tenant=\"evil\\\"\\nname\"} 1"),
+      std::string::npos)
+      << os.str();
+}
+
+TEST(ObsExposition, MalformedRequestLineGets400) {
+  ExpositionServer server;
+  server.start();
+  // No leading slash in the target.
+  const int fd = connect_with_retry(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string bad = "GET noslash HTTP/1.1\r\n\r\n";
+  ::send(fd, bad.data(), bad.size(), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+
+  // A peer that hangs up mid-request also gets 400 semantics (the
+  // handler must not crash or hang); garbage bytes then close.
+  const int fd2 = connect_with_retry(server.port());
+  ASSERT_GE(fd2, 0);
+  ::send(fd2, "GARBAGE", 7, 0);
+  ::shutdown(fd2, SHUT_WR);
+  std::string response2;
+  while ((n = ::recv(fd2, buf, sizeof(buf), 0)) > 0) {
+    response2.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd2);
+  EXPECT_NE(response2.find("HTTP/1.1 400"), std::string::npos) << response2;
+  server.stop();
+}
+
+TEST(ObsExposition, SlowClientGets408NotAPinnedHandler) {
+  ExpositionServer::Config config;
+  config.read_timeout_ms = 100;
+  ExpositionServer server(config);
+  server.start();
+  const int fd = connect_with_retry(server.port());
+  ASSERT_GE(fd, 0);
+  // Trickle half a request line, then stall past the read timeout.
+  ::send(fd, "GET /met", 8, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  EXPECT_LT(waited, 3.0);  // the timeout, not a hang
+  server.stop();
+}
+
+TEST(ObsExposition, NonGetMethodsGet405) {
+  ExpositionServer server;
+  server.start();
+  const int fd = connect_with_retry(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string post = "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ::send(fd, post.data(), post.size(), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(ObsExposition, AlertsEndpointServesTheHubDocument) {
+  // Degraded mode first: no hub attached -> the empty document.
+  ExpositionServer bare;
+  bare.start();
+  const std::string empty = http_get(bare.port(), "/alerts");
+  EXPECT_NE(empty.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(empty.find("application/json"), std::string::npos);
+  EXPECT_NE(empty.find(R"("active":[])"), std::string::npos);
+  bare.stop();
+
+  OpsHub hub;
+  hub.set_alerts_json(R"({"windows":9,"active":[{"kind":"jain"}]})");
+  ExpositionServer::Config config;
+  config.ops = &hub;
+  ExpositionServer server(config);
+  server.start();
+  const std::string alerts = http_get(server.port(), "/alerts");
+  EXPECT_NE(alerts.find(R"({"windows":9,"active":[{"kind":"jain"}]})"),
+            std::string::npos)
+      << alerts;
+  server.stop();
+}
+
+TEST(ObsExposition, ReadyzTripsOnStallAndRecoversOnARound) {
+  OpsHub hub;
+  ExpositionServer::Config config;
+  config.ops = &hub;
+  config.stall_deadline_seconds = 0.2;
+  ExpositionServer server(config);
+  server.start();
+
+  // Within the startup grace period: ready despite zero rounds so far.
+  EXPECT_NE(http_get(server.port(), "/readyz").find("HTTP/1.1 200"),
+            std::string::npos);
+  // Past the deadline with no round ever published: stalled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const std::string stalled = http_get(server.port(), "/readyz");
+  EXPECT_NE(stalled.find("HTTP/1.1 503"), std::string::npos) << stalled;
+  EXPECT_NE(stalled.find("stalled"), std::string::npos) << stalled;
+  // Liveness is unaffected by the watchdog.
+  EXPECT_NE(http_get(server.port(), "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+  // A fresh round resets the watchdog.
+  hub.publish_round(make_round(0));
+  EXPECT_NE(http_get(server.port(), "/readyz").find("HTTP/1.1 200"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ObsExposition, RoundsWithoutAHubAnswers503) {
+  ExpositionServer server;
+  server.start();
+  const std::string response = http_get(server.port(), "/rounds");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(ObsExposition, RoundsBacklogStreamsAsChunkedNdjson) {
+  OpsHub hub;
+  for (std::size_t w = 0; w < 5; ++w) hub.publish_round(make_round(w));
+  ExpositionServer::Config config;
+  config.ops = &hub;
+  ExpositionServer server(config);
+  server.start();
+
+  const std::string response = http_get(server.port(), "/rounds?follow=0");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(response.find("Transfer-Encoding: chunked"), std::string::npos);
+  const std::vector<std::string> lines = ndjson_lines(body_of(response));
+  ASSERT_EQ(lines.size(), 5u);
+  for (std::size_t w = 0; w < 5; ++w) {
+    const RoundSummary round =
+        round_summary_from_json(json::Value::parse(lines[w]));
+    EXPECT_EQ(round.window, w);
+  }
+
+  // ?n=K caps the line count even in follow mode.
+  const std::vector<std::string> capped =
+      ndjson_lines(body_of(http_get(server.port(), "/rounds?n=2")));
+  EXPECT_EQ(capped.size(), 2u);
+  server.stop();
+}
+
+TEST(ObsExposition, RoundsFollowStreamsRoundsPublishedAfterConnect) {
+  OpsHub hub;
+  hub.publish_round(make_round(0));
+  ExpositionServer::Config config;
+  config.ops = &hub;
+  ExpositionServer server(config);
+  server.start();
+
+  // Publish two more rounds while a follower is connected; ?n=3 makes
+  // the stream terminate once they arrive.
+  std::thread publisher([&hub] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    hub.publish_round(make_round(1));
+    hub.publish_round(make_round(2));
+  });
+  const std::string response = http_get(server.port(), "/rounds?n=3");
+  publisher.join();
+  const std::vector<std::string> lines = ndjson_lines(body_of(response));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(round_summary_from_json(json::Value::parse(lines[2])).window, 2u);
+  server.stop();
+}
+
+TEST(ObsExposition, StopWhileAFollowerIsConnectedStaysPrompt) {
+  OpsHub hub;
+  ExpositionServer::Config config;
+  config.ops = &hub;
+  ExpositionServer server(config);
+  server.start();
+  // A follower with nothing to read parks in the hub's wait loop.
+  const int fd = connect_with_retry(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /rounds HTTP/1.1\r\nHost: x\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();  // must wake the handler, not wait for a round
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(took, 5.0);
+  ::close(fd);
+}
+
+TEST(ObsExposition, ProfileEndpointRequiresTheProfiler) {
+  ExpositionServer server;
+  server.start();
+  const std::string response = http_get(server.port(), "/profile");
+  // The profiler is off in this test binary: degraded mode is explicit.
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  server.stop();
 }
 
 TEST(ObsExposition, ServerRestartsAfterStop) {

@@ -4,17 +4,25 @@
 //   cat entities.csv | rrf_alloc_cli --policy wmmf --capacity 2000,2000 -
 //
 // CSV format: name,share_0,...,demand_0,...  (see alloc/entity_io.hpp).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "alloc/entity_io.hpp"
 #include "alloc/factory.hpp"
 #include "alloc/flight_capture.hpp"
+#include "common/stats.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ops.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
@@ -39,6 +47,15 @@ using namespace rrf;
       "  --profile <path>  attach the hierarchical profiler to the round;\n"
       "                    Chrome trace JSON if the path ends in .json,\n"
       "                    collapsed-stack flamegraph text otherwise\n"
+      "  --journal <path>  append a schema-v1 telemetry journal (JSONL)\n"
+      "                    with the round's summary; inspect with\n"
+      "                    rrf_inspect journal\n"
+      "  --journal-retention <bytes>  journal disk budget (default 0 =\n"
+      "                    unbounded)\n"
+      "  --serve-ops <p>   serve the ops plane (/metrics, /healthz,\n"
+      "                    /readyz, /alerts, /rounds, /profile) on port\n"
+      "                    <p> after the round (0 = ephemeral)\n"
+      "  --serve-hold <s>  keep the ops server up <s> seconds (default 5)\n"
       "  <csv>       entity file, or '-' for stdin\n";
   std::exit(code);
 }
@@ -119,6 +136,10 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string profile_path;
+  std::string journal_path;
+  std::size_t journal_retention = 0;
+  int serve_ops_port = -1;
+  double serve_hold = 5.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,12 +154,17 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--profile") profile_path = next();
+    else if (arg == "--journal") journal_path = next();
+    else if (arg == "--journal-retention")
+      journal_retention = std::stoull(next());
+    else if (arg == "--serve-ops") serve_ops_port = std::stoi(next());
+    else if (arg == "--serve-hold") serve_hold = std::stod(next());
     else if (input_path.empty()) input_path = arg;
     else usage(2);
   }
   if (capacity_text.empty() || input_path.empty()) usage(2);
   obs::set_tracing_enabled(!trace_path.empty());
-  obs::set_metrics_enabled(!metrics_path.empty());
+  obs::set_metrics_enabled(!metrics_path.empty() || serve_ops_port >= 0);
   obs::set_profiling_enabled(!profile_path.empty());
   if (obs::profiling_enabled()) obs::set_thread_name("main");
 
@@ -175,6 +201,63 @@ int main(int argc, char** argv) {
       recorder.write_recording(recording);
       std::cout << "wrote " << record_path << " ("
                 << recorder.bytes_written() << " bytes)\n";
+    }
+    // One-shot ops-plane digest of the round: per-entity share/demand
+    // ratios (relative to bought shares) and declared surplus flows.
+    if (!journal_path.empty() || serve_ops_port >= 0) {
+      obs::RoundSummary summary;
+      summary.slots = entities.size();
+      std::vector<double> share_ratio;
+      share_ratio.reserve(entities.size());
+      for (std::size_t i = 0; i < entities.size(); ++i) {
+        const alloc::AllocationEntity& entity = entities[i];
+        obs::TenantRoundStat stat;
+        stat.name = entity.name;
+        const double initial = std::max(1e-12, entity.initial_share.sum());
+        stat.share = result.allocations[i].sum() / initial;
+        stat.demand = entity.demand.sum() / initial;
+        for (std::size_t k = 0; k < entity.initial_share.size(); ++k) {
+          const double delta =
+              result.allocations[i][k] - entity.initial_share[k];
+          (delta >= 0.0 ? stat.gained : stat.contributed) += std::abs(delta);
+        }
+        share_ratio.push_back(stat.share);
+        summary.tenants.push_back(std::move(stat));
+      }
+      const bool any_share =
+          std::any_of(share_ratio.begin(), share_ratio.end(),
+                      [](double s) { return s > 0.0; });
+      summary.jain = any_share ? jain_index(share_ratio) : 1.0;
+
+      if (!journal_path.empty()) {
+        obs::TelemetryJournal::Options journal_options;
+        journal_options.path = journal_path;
+        journal_options.max_bytes = journal_retention;
+        journal_options.kind = "alloc";
+        journal_options.policy = policy_name;
+        for (const alloc::AllocationEntity& entity : entities) {
+          journal_options.tenants.push_back(entity.name);
+        }
+        obs::TelemetryJournal journal(std::move(journal_options));
+        journal.record_round(summary);
+        journal.finish();
+        std::cout << "wrote " << journal_path << " ("
+                  << journal.bytes_written() << " bytes)\n";
+      }
+      if (serve_ops_port >= 0) {
+        obs::OpsHub hub;
+        hub.publish_round(summary);
+        obs::ExpositionServer::Config server_config;
+        server_config.port = static_cast<std::uint16_t>(serve_ops_port);
+        server_config.ops = &hub;
+        obs::ExpositionServer server(server_config);
+        server.start();
+        std::cout << "holding ops plane open for " << serve_hold
+                  << "s (port " << server.port() << ")\n";
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(serve_hold));
+        server.stop();
+      }
     }
     write_observability_outputs(trace_path, metrics_path, profile_path);
   } catch (const std::exception& e) {

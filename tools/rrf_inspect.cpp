@@ -4,6 +4,7 @@
 //   rrf_inspect diff    <a.jsonl> <b.jsonl> [--epsilon <f>]
 //   rrf_inspect explain <recording.jsonl> --round <n> --tenant <name|idx>
 //                       [--node <n>]
+//   rrf_inspect journal <telemetry.jsonl> [--tail <n>]   # validate/summarize
 //
 // `replay` re-runs the recording through the deterministic engine (or the
 // one-shot allocation path for "alloc" recordings) and exits non-zero if
@@ -12,6 +13,7 @@
 // `explain` prints the full decision chain for one round + tenant: demand
 // → prediction → IRT contribution/gain (Algorithm 1 line references) →
 // IWA flows → final entitlement and actuator targets.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "obs/flightrec.hpp"
+#include "obs/journal.hpp"
 #include "sim/flight_replay.hpp"
 
 namespace {
@@ -40,7 +43,12 @@ using namespace rrf;
       "                      --tenant <name|index> [--node <n>]\n"
       "      print the decision chain for one round + tenant: demand,\n"
       "      prediction, IRT contribution trading (Algorithm 1 lines),\n"
-      "      IWA flows, final entitlement and actuator targets\n";
+      "      IWA flows, final entitlement and actuator targets\n\n"
+      "  rrf_inspect journal <telemetry.jsonl> [--tail <n>]\n"
+      "      validate and summarize a telemetry journal (rounds, alert\n"
+      "      transitions, fairness ranges, clean-shutdown state); --tail\n"
+      "      prints the last <n> round records; exit 1 on any schema\n"
+      "      violation\n";
   std::exit(code);
 }
 
@@ -142,6 +150,68 @@ int cmd_explain(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_journal(const std::vector<std::string>& args) {
+  std::string path;
+  std::size_t tail = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tail") {
+      if (i + 1 >= args.size()) usage(2);
+      tail = std::stoul(args[++i]);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      usage(2);
+    }
+  }
+  if (path.empty()) usage(2);
+  const obs::JournalData journal = obs::JournalData::load_file(path);
+  for (const std::string& note : journal.notes) {
+    std::cout << "note: " << note << "\n";
+  }
+  std::cout << "telemetry journal: kind " << journal.header.kind
+            << ", policy " << journal.header.policy << ", "
+            << journal.header.tenants.size() << " tenant(s)\n";
+  std::cout << "  rounds: " << journal.rounds.size()
+            << ", alert transitions: " << journal.alerts.size() << "\n";
+  if (!journal.rounds.empty()) {
+    double jain_lo = journal.rounds.front().jain;
+    double jain_hi = jain_lo;
+    for (const obs::RoundSummary& round : journal.rounds) {
+      jain_lo = std::min(jain_lo, round.jain);
+      jain_hi = std::max(jain_hi, round.jain);
+    }
+    std::cout << "  windows " << journal.rounds.front().window << ".."
+              << journal.rounds.back().window << ", jain "
+              << format_num(jain_lo) << ".." << format_num(jain_hi) << "\n";
+  }
+  std::size_t raised = 0;
+  for (const obs::JournalAlert& alert : journal.alerts) {
+    if (alert.raised) ++raised;
+  }
+  if (!journal.alerts.empty()) {
+    std::cout << "  alerts: " << raised << " raised, "
+              << journal.alerts.size() - raised << " resolved\n";
+  }
+  if (journal.end.has_value()) {
+    std::cout << "  clean shutdown (end record: " << journal.end->rounds
+              << " rounds, " << journal.end->alerts << " alerts)\n";
+  } else {
+    std::cout << "  no end record — the run was killed or is still "
+                 "writing";
+    if (journal.truncated_tail) std::cout << " (truncated final line)";
+    std::cout << "\n";
+  }
+  if (tail > 0) {
+    const std::size_t begin =
+        journal.rounds.size() > tail ? journal.rounds.size() - tail : 0;
+    for (std::size_t i = begin; i < journal.rounds.size(); ++i) {
+      std::cout << obs::round_summary_to_json(journal.rounds[i]).dump()
+                << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +223,7 @@ int main(int argc, char** argv) {
     if (verb == "replay") return cmd_replay(args);
     if (verb == "diff") return cmd_diff(args);
     if (verb == "explain") return cmd_explain(args);
+    if (verb == "journal") return cmd_journal(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

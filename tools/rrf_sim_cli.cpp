@@ -25,7 +25,9 @@
 #include "obs/audit.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/ops.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/flight_replay.hpp"
@@ -67,8 +69,17 @@ struct CliOptions {
   /// Live Prometheus exposition: port to serve /metrics on (-1 = off,
   /// 0 = ephemeral).
   int serve_port = -1;
+  /// Full ops plane (adds /rounds, /alerts, /readyz watchdog, /profile);
+  /// takes precedence over --serve-metrics when both are given.
+  int serve_ops_port = -1;
   /// Seconds to keep serving after the runs finish (CI scrapes / demos).
   double serve_hold = 0.0;
+  /// /readyz stall watchdog deadline in seconds (0 disables).
+  double stall_deadline = 60.0;
+  /// Telemetry journal output (JSONL); empty = journaling off.
+  std::string journal_path;
+  /// Journal disk budget in bytes (0 = unbounded, no rotation).
+  std::size_t journal_retention = 0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -116,8 +127,22 @@ struct CliOptions {
       "                      Prometheus text format, /metrics.json the JSON\n"
       "                      snapshot.  Implies metric collection and the\n"
       "                      fairness auditor.\n"
+      "  --serve-ops <p>     serve the full ops plane on port <p> (0 picks\n"
+      "                      an ephemeral port): /metrics, /metrics.json,\n"
+      "                      /healthz, /readyz (stall watchdog), /alerts,\n"
+      "                      /rounds (streaming NDJSON round feed; follow\n"
+      "                      it live with curl or rrf_top) and /profile.\n"
+      "                      Implies metric collection and the auditor.\n"
       "  --serve-hold <s>    keep serving <s> seconds after the runs finish\n"
-      "                      (default 0; use with --serve-metrics)\n"
+      "                      (default 0; use with --serve-metrics/ops)\n"
+      "  --stall-deadline <s> /readyz answers 503 when no round completes\n"
+      "                      within <s> seconds (default 60; 0 disables)\n"
+      "  --journal <path>    append a schema-v1 telemetry journal (JSONL)\n"
+      "                      of round summaries + alert transitions;\n"
+      "                      inspect with rrf_inspect journal (single\n"
+      "                      policy only)\n"
+      "  --journal-retention <bytes>  bound journal disk use via\n"
+      "                      two-segment rotation (default 0 = unbounded)\n"
       "  --help\n";
   std::exit(code);
 }
@@ -162,7 +187,12 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--metrics") options.metrics_path = next(i);
     else if (arg == "--profile") options.profile_path = next(i);
     else if (arg == "--serve-metrics") options.serve_port = std::stoi(next(i));
+    else if (arg == "--serve-ops") options.serve_ops_port = std::stoi(next(i));
     else if (arg == "--serve-hold") options.serve_hold = std::stod(next(i));
+    else if (arg == "--stall-deadline") options.stall_deadline = std::stod(next(i));
+    else if (arg == "--journal") options.journal_path = next(i);
+    else if (arg == "--journal-retention")
+      options.journal_retention = std::stoull(next(i));
     else if (arg == "--workloads") {
       options.workloads.clear();
       std::stringstream ss(next(i));
@@ -181,6 +211,10 @@ CliOptions parse(int argc, char** argv) {
   }
   if (!options.record_path.empty() && options.policy == "all") {
     std::cerr << "--record captures one run; pick a single --policy\n";
+    usage(2);
+  }
+  if (!options.journal_path.empty() && options.policy == "all") {
+    std::cerr << "--journal captures one run; pick a single --policy\n";
     usage(2);
   }
   return options;
@@ -309,16 +343,25 @@ void print_alert_summary(const sim::SimResult& result) {
 
 int main(int argc, char** argv) {
   const CliOptions options = parse(argc, argv);
+  const bool serve_ops = options.serve_ops_port >= 0;
   obs::set_tracing_enabled(!options.trace_path.empty());
+  // Journaling needs the auditor (alert transitions), which needs metrics.
   obs::set_metrics_enabled(!options.metrics_path.empty() ||
-                           options.serve_port >= 0);
+                           options.serve_port >= 0 || serve_ops ||
+                           !options.journal_path.empty());
   obs::set_profiling_enabled(!options.profile_path.empty());
   if (obs::profiling_enabled()) obs::set_thread_name("main");
 
+  std::unique_ptr<obs::OpsHub> hub;
+  if (serve_ops) hub = std::make_unique<obs::OpsHub>();
+
   std::unique_ptr<obs::ExpositionServer> server;
-  if (options.serve_port >= 0) {
+  if (options.serve_port >= 0 || serve_ops) {
     obs::ExpositionServer::Config server_config;
-    server_config.port = static_cast<std::uint16_t>(options.serve_port);
+    server_config.port = static_cast<std::uint16_t>(
+        serve_ops ? options.serve_ops_port : options.serve_port);
+    server_config.ops = hub.get();
+    server_config.stall_deadline_seconds = options.stall_deadline;
     server = std::make_unique<obs::ExpositionServer>(server_config);
     server->start();
   }
@@ -385,6 +428,20 @@ int main(int argc, char** argv) {
     recorder = std::make_unique<obs::FlightRecorder>(record_out);
   }
 
+  std::unique_ptr<obs::TelemetryJournal> journal;
+  if (!options.journal_path.empty()) {
+    obs::TelemetryJournal::Options journal_options;
+    journal_options.path = options.journal_path;
+    journal_options.max_bytes = options.journal_retention;
+    journal_options.kind = "sim";
+    journal_options.policy = options.policy;
+    for (const auto& tenant : scenario.cluster.tenants()) {
+      journal_options.tenants.push_back(tenant.name);
+    }
+    journal = std::make_unique<obs::TelemetryJournal>(
+        std::move(journal_options));
+  }
+
   for (const sim::PolicyKind policy : policies) {
     sim::EngineConfig config = engine;
     config.policy = policy;
@@ -392,6 +449,8 @@ int main(int argc, char** argv) {
       recorder->write_header(sim::make_flight_header(scenario, config));
       config.flight = recorder.get();
     }
+    config.ops = hub.get();
+    config.journal = journal.get();
     const sim::SimResult result = sim::run_simulation(scenario, config);
 
     TextTable table(sim::to_string(policy));
@@ -427,6 +486,17 @@ int main(int argc, char** argv) {
     if (recorder->rounds_dropped() > 0) {
       std::cout << ", " << recorder->rounds_dropped()
                 << " rounds dropped to byte budget";
+    }
+    std::cout << ")\n";
+  }
+  if (journal) {
+    journal->finish();
+    std::cout << "wrote " << options.journal_path << " ("
+              << journal->rounds_recorded() << " rounds, "
+              << journal->alerts_recorded() << " alert transitions, "
+              << journal->bytes_written() << " bytes";
+    if (journal->segment() > 0) {
+      std::cout << ", rotated " << journal->segment() << "x";
     }
     std::cout << ")\n";
   }
