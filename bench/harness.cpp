@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/profiler.hpp"
 #include "sim/synthetic.hpp"
 
@@ -54,7 +55,8 @@ double profile_root_total(const std::vector<ProfilePathNode>& nodes) {
 }
 
 CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
-                    const SweepPoint& point) {
+                    const SweepPoint& point, bool parallel,
+                    std::size_t shards) {
   sim::SyntheticConfig syn;
   syn.nodes = point.nodes;
   syn.vms_per_node = point.vms_per_node;
@@ -67,12 +69,24 @@ CellResult run_cell(const HarnessConfig& config, sim::PolicyKind policy,
   engine.window = 5.0;
   engine.duration = engine.window * static_cast<double>(config.windows);
   engine.use_actuators = config.use_actuators;
-  engine.parallel_nodes = config.parallel_nodes;
+  engine.parallel_nodes = parallel;
+  engine.shards = shards;
   engine.audit.enabled = false;
 
   CellResult cell;
   cell.policy = policy;
   cell.point = point;
+  // Record the shard count the run effectively used: 0 marks a serial
+  // measurement; a parallel run with auto sharding resolves to the
+  // engine's auto formula so report readers never see an ambiguous 0.
+  if (parallel && point.nodes > 1) {
+    cell.shards =
+        shards > 0
+            ? shards
+            : std::min(point.nodes,
+                       std::max<std::size_t>(1, global_pool().thread_count()) *
+                           4);
+  }
   cell.windows = config.windows;
   cell.trials = config.trials;
 
@@ -205,6 +219,23 @@ HarnessConfig full_config() {
   return config;
 }
 
+HarnessConfig scale_config() {
+  HarnessConfig config;
+  config.policies = {sim::PolicyKind::kRrf};
+  // 1024 nodes x 100 VMs = 102,400 VM slots; every window allocates all
+  // of them, so a handful of windows is already minutes of node-seconds.
+  config.sweep = {{1024, 100, 32}};
+  config.warmup = 0;
+  config.trials = 1;
+  config.windows = 6;
+  config.parallel_nodes = true;
+  // Serial baseline first, then two shard widths: one near a small
+  // host's core count and one oversubscribed for steal-based balance.
+  config.shard_counts = {0, 4, 16};
+  config.label = "scale";
+  return config;
+}
+
 Report run_harness(const HarnessConfig& config, std::ostream* progress) {
   RRF_REQUIRE(!config.policies.empty() && !config.sweep.empty(),
               "bench harness needs >= 1 policy and >= 1 sweep point");
@@ -218,21 +249,32 @@ Report run_harness(const HarnessConfig& config, std::ostream* progress) {
   Report report;
   report.config = config;
   report.cells.reserve(config.policies.size() * config.sweep.size());
+  // One measurement per (point, policy) normally; with a shard-count
+  // sweep each entry is its own measurement (0 = serial baseline).
+  std::vector<std::size_t> shard_runs = config.shard_counts;
+  const bool sweeping_shards = config.parallel_nodes && !shard_runs.empty();
+  if (!sweeping_shards) {
+    shard_runs.assign(1, 0);
+  }
   for (const SweepPoint& point : config.sweep) {
     for (const sim::PolicyKind policy : config.policies) {
-      CellResult cell = run_cell(config, policy, point);
-      if (progress != nullptr) {
-        char line[160];
-        std::snprintf(line, sizeof(line),
-                      "%-7s %3zux%-2zux%-3zu median %9.3f ms  p95 %9.3f ms  "
-                      "%10.0f allocs/s\n",
-                      sim::to_string(policy).c_str(), point.nodes,
-                      point.vms_per_node, point.tenants,
-                      cell.median_round_seconds * 1e3,
-                      cell.p95_round_seconds * 1e3, cell.allocs_per_second);
-        *progress << line << std::flush;
+      for (const std::size_t shards : shard_runs) {
+        const bool parallel =
+            sweeping_shards ? shards > 0 : config.parallel_nodes;
+        CellResult cell = run_cell(config, policy, point, parallel, shards);
+        if (progress != nullptr) {
+          char line[160];
+          std::snprintf(line, sizeof(line),
+                        "%-7s %4zux%-3zux%-3zu sh%-4zu median %9.3f ms  "
+                        "p95 %9.3f ms  %10.0f allocs/s\n",
+                        sim::to_string(policy).c_str(), point.nodes,
+                        point.vms_per_node, point.tenants, cell.shards,
+                        cell.median_round_seconds * 1e3,
+                        cell.p95_round_seconds * 1e3, cell.allocs_per_second);
+          *progress << line << std::flush;
+        }
+        report.cells.push_back(std::move(cell));
       }
-      report.cells.push_back(std::move(cell));
     }
   }
   if (config.profile) {
@@ -266,6 +308,10 @@ json::Value report_to_json(const Report& report) {
   for (const SweepPoint& p : report.config.sweep) {
     sweep.push_back(sweep_point_json(p));
   }
+  json::Array shard_counts;
+  for (const std::size_t s : report.config.shard_counts) {
+    shard_counts.push_back(static_cast<double>(s));
+  }
   json::Array results;
   for (const CellResult& cell : report.cells) {
     json::Object phases;
@@ -279,6 +325,7 @@ json::Value report_to_json(const Report& report) {
         {"tenants", cell.point.tenants},
         {"windows", cell.windows},
         {"trials", cell.trials},
+        {"shards", cell.shards},
         {"median_round_seconds", cell.median_round_seconds},
         {"p95_round_seconds", cell.p95_round_seconds},
         {"mean_round_seconds", cell.mean_round_seconds},
@@ -309,6 +356,7 @@ json::Value report_to_json(const Report& report) {
            {"use_actuators", report.config.use_actuators},
            {"parallel_nodes", report.config.parallel_nodes},
            {"profile", report.config.profile},
+           {"shard_counts", std::move(shard_counts)},
        }},
       {"results", std::move(results)},
   };
@@ -346,6 +394,8 @@ void validate_report_json(const json::Value& doc) {
     require_nonneg(cell, "nodes");
     require_nonneg(cell, "vms_per_node");
     require_nonneg(cell, "tenants");
+    // Additive in schema v2: absent from v1 (and early v2) reports.
+    if (cell.find("shards") != nullptr) require_nonneg(cell, "shards");
     const double median = require_nonneg(cell, "median_round_seconds");
     const double p95 = require_nonneg(cell, "p95_round_seconds");
     check(p95 + 1e-12 >= median,
@@ -392,15 +442,15 @@ void write_collapsed_profile(std::ostream& os,
 std::string report_summary(const Report& report) {
   std::string out;
   char line[160];
-  std::snprintf(line, sizeof(line), "%-8s %6s %4s %4s %12s %12s %14s\n",
-                "policy", "nodes", "vms", "ten", "median(ms)", "p95(ms)",
-                "allocs/s");
+  std::snprintf(line, sizeof(line), "%-8s %6s %4s %4s %6s %12s %12s %14s\n",
+                "policy", "nodes", "vms", "ten", "shards", "median(ms)",
+                "p95(ms)", "allocs/s");
   out += line;
   for (const CellResult& cell : report.cells) {
     std::snprintf(line, sizeof(line),
-                  "%-8s %6zu %4zu %4zu %12.3f %12.3f %14.0f\n",
+                  "%-8s %6zu %4zu %4zu %6zu %12.3f %12.3f %14.0f\n",
                   sim::to_string(cell.policy).c_str(), cell.point.nodes,
-                  cell.point.vms_per_node, cell.point.tenants,
+                  cell.point.vms_per_node, cell.point.tenants, cell.shards,
                   cell.median_round_seconds * 1e3,
                   cell.p95_round_seconds * 1e3, cell.allocs_per_second);
     out += line;

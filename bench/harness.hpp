@@ -50,6 +50,12 @@ struct HarnessConfig {
   /// Attach the hierarchical profiler to the measured trials and attribute
   /// per-phase self time into the report (schema v2 "profile" blocks).
   bool profile = false;
+  /// Shard counts to sweep per cell when parallel_nodes is on: each cell
+  /// is measured once per entry, where an entry of 0 means a serial
+  /// baseline run (parallel off for that measurement) and an entry > 0
+  /// a sharded run with that shard count.  Empty: each cell is measured
+  /// once, honouring parallel_nodes as-is.
+  std::vector<std::size_t> shard_counts;
   std::string label = "quick";
 };
 
@@ -59,6 +65,13 @@ HarnessConfig quick_config();
 
 /// The full sweep: adds larger node counts and a tenant-count axis.
 HarnessConfig full_config();
+
+/// The scale tier (ROADMAP item 1): a single 1024-node / 100k-VM RRF
+/// cell, measured serially and across a shard-count sweep, so the
+/// serial-vs-sharded aggregate throughput ratio falls straight out of the
+/// report.  Windows and trials are dialed down — each window visits every
+/// node — and warmup is skipped.
+HarnessConfig scale_config();
 
 /// One flattened call-tree node from the profiler: `path` is the
 /// ';'-joined site chain ("allocate;irt.allocate"), self/total in seconds
@@ -71,10 +84,12 @@ struct ProfilePathNode {
   std::uint64_t bytes{0};
 };
 
-/// One (policy, sweep point) measurement.
+/// One (policy, sweep point[, shard count]) measurement.
 struct CellResult {
   sim::PolicyKind policy{};
   SweepPoint point{};
+  /// Shard count the cell ran with; 0 = serial (parallel_nodes off).
+  std::size_t shards{0};
   std::size_t windows{0};
   std::size_t trials{0};
   /// Pooled per-window wall-clock stats across measured trials (seconds).

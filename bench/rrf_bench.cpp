@@ -6,10 +6,17 @@
 // (schema: docs/BENCHMARKING.md; gated in CI by scripts/bench_compare.py).
 //
 // Usage:
-//   rrf_bench [--quick | --full] [--out PATH]
+//   rrf_bench [--quick | --full | --scale] [--out PATH]
 //             [--policies rrf,drf,...] [--sweep NxVxT ...]
 //             [--trials N] [--warmup N] [--windows N] [--seed N]
-//             [--actuators] [--parallel] [--profile] [--quiet]
+//             [--actuators] [--parallel] [--shards a,b,...]
+//             [--profile] [--quiet]
+//
+// --scale selects the 1024-node / 100k-VM tier (docs/BENCHMARKING.md):
+// one RRF cell measured serially and across a shard-count sweep, so the
+// serial-vs-sharded throughput ratio reads directly off the report.
+// --shards takes a comma list of shard counts (0 = serial baseline) and
+// implies --parallel.
 //
 // --profile attaches the hierarchical profiler (obs/profiler) to the
 // measured trials: the report gains schema-v2 "profile" blocks and a
@@ -32,10 +39,11 @@ using namespace rrf;
   std::fprintf(stderr, "rrf_bench: %s\n", message.c_str());
   std::fprintf(
       stderr,
-      "usage: rrf_bench [--quick|--full] [--out PATH] [--policies a,b,c]\n"
-      "                 [--sweep NxVxT]... [--trials N] [--warmup N]\n"
-      "                 [--windows N] [--seed N] [--actuators] [--parallel]\n"
-      "                 [--profile] [--quiet]\n");
+      "usage: rrf_bench [--quick|--full|--scale] [--out PATH]\n"
+      "                 [--policies a,b,c] [--sweep NxVxT]... [--trials N]\n"
+      "                 [--warmup N] [--windows N] [--seed N] [--actuators]\n"
+      "                 [--parallel] [--shards a,b,...] [--profile]\n"
+      "                 [--quiet]\n");
   std::exit(2);
 }
 
@@ -66,6 +74,21 @@ std::vector<sim::PolicyKind> parse_policies(const std::string& csv) {
   }
   if (policies.empty()) usage_error("empty --policies list");
   return policies;
+}
+
+std::vector<std::size_t> parse_shards(const std::string& csv) {
+  std::vector<std::size_t> shards;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string cell =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!cell.empty()) shards.push_back(parse_size("--shards", cell));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (shards.empty()) usage_error("empty --shards list");
+  return shards;
 }
 
 bench::SweepPoint parse_sweep(const std::string& spec) {
@@ -100,6 +123,8 @@ int main(int argc, char** argv) {
       config = bench::quick_config();
     } else if (arg == "--full") {
       config = bench::full_config();
+    } else if (arg == "--scale") {
+      config = bench::scale_config();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--policies") {
@@ -117,6 +142,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--actuators") {
       config.use_actuators = true;
     } else if (arg == "--parallel") {
+      config.parallel_nodes = true;
+    } else if (arg == "--shards") {
+      config.shard_counts = parse_shards(next());
       config.parallel_nodes = true;
     } else if (arg == "--profile") {
       config.profile = true;

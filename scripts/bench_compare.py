@@ -4,9 +4,17 @@
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
                    [--metric median_round_seconds] [--normalize POLICY]
+                   [--floor FLOOR.json]
 
-Cells are matched by (policy, nodes, vms_per_node, tenants).  A cell
-regresses when current > baseline * (1 + threshold).
+Cells are matched by (policy, nodes, vms_per_node, tenants, shards);
+reports that predate the shard axis match as shards == 0 (serial).  A
+cell regresses when current > baseline * (1 + threshold).
+
+--floor adds an absolute throughput gate on the *current* report alone:
+the floor file pins a minimum allocs_per_second per cell, and any cell
+below its floor (or absent from the report) fails the run.  Relative
+comparison catches drift between two runs on the same machine; the
+floor catches the slow leak where both runs regressed together.
 
 CI runners differ wildly in single-core speed, so comparing absolute
 wall-clock against a checked-in baseline would be noise.  --normalize
@@ -46,8 +54,9 @@ def load_report(path):
 
 
 def cell_key(cell):
+    # "shards" is additive (late schema v2); older reports are all-serial.
     return (cell["policy"], int(cell["nodes"]), int(cell["vms_per_node"]),
-            int(cell["tenants"]))
+            int(cell["tenants"]), int(cell.get("shards", 0)))
 
 
 def index_cells(cells, metric):
@@ -77,6 +86,49 @@ def normalize(values, policy):
     return out
 
 
+def load_floor(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    floors = doc.get("floors")
+    if not isinstance(floors, list) or not floors:
+        raise SystemExit(f"{path}: no floors")
+    return doc
+
+
+def check_floor(cur_doc, floor_doc):
+    """Gate the current report's absolute allocs/sec against the floors.
+
+    Returns the list of failed floors.  Floors are matched by full cell
+    key; a floor whose cell is absent from the report also fails (a
+    silently dropped cell must not un-gate itself).
+    """
+    cells = {cell_key(c): float(c.get("allocs_per_second", 0.0))
+             for c in cur_doc["results"]}
+    failures = []
+    print("\nfloor check (absolute allocs/second, current report only):")
+    print(f"  {'policy':<8} {'nodes':>5} {'vms':>4} {'ten':>4} {'sh':>3} "
+          f"{'floor':>12} {'current':>12}")
+    for floor in floor_doc["floors"]:
+        key = (floor["policy"], int(floor["nodes"]),
+               int(floor["vms_per_node"]), int(floor["tenants"]),
+               int(floor.get("shards", 0)))
+        minimum = float(floor["min_allocs_per_second"])
+        current = cells.get(key)
+        if current is None:
+            flag, shown = "  << MISSING CELL", "absent"
+            failures.append((key, minimum, None))
+        else:
+            below = current < minimum
+            flag = "  << BELOW FLOOR" if below else ""
+            shown = f"{current:>12.0f}"
+            if below:
+                failures.append((key, minimum, current))
+        policy, nodes, vms, tenants, shards = key
+        print(f"  {policy:<8} {nodes:>5} {vms:>4} {tenants:>4} {shards:>3} "
+              f"{minimum:>12.0f} {shown:>12}{flag}")
+    return failures
+
+
 def phase_deltas(base_cell, cur_cell):
     """Per-phase (name, base_s, cur_s, delta_s) sorted by delta, worst first."""
     base_phases = base_cell.get("phase_seconds") or {}
@@ -104,7 +156,7 @@ def print_attribution(base_doc, cur_doc, worst_key, scale):
     `scale` rescales the current report's seconds onto the baseline
     machine (the per-point normalization ratio); 1.0 when comparing raw.
     """
-    policy, nodes, vms, tenants = worst_key
+    policy, nodes, vms, tenants, shards = worst_key
     base_cell = next((c for c in base_doc["results"]
                       if cell_key(c) == worst_key), None)
     cur_cell = next((c for c in cur_doc["results"]
@@ -112,7 +164,8 @@ def print_attribution(base_doc, cur_doc, worst_key, scale):
     if base_cell is None or cur_cell is None:
         return
 
-    print(f"\nattribution — {policy} {nodes}x{vms}x{tenants} "
+    shard_note = f" sh{shards}" if shards else ""
+    print(f"\nattribution — {policy} {nodes}x{vms}x{tenants}{shard_note} "
           f"(worst-moving cell):")
     rows = phase_deltas(base_cell, cur_cell)
     rows = [(n, b, c * scale, c * scale - b) for (n, b, c, _) in rows]
@@ -167,6 +220,10 @@ def main():
                         help="cells whose absolute baseline metric is below "
                              "this are reported but not gated (sub-0.1ms "
                              "cells are scheduler-jitter noise)")
+    parser.add_argument("--floor", metavar="FLOOR.json", default=None,
+                        help="absolute allocs/sec floors for the current "
+                             "report (bench/floor_quick.json); any cell "
+                             "below its floor fails the run")
     parser.add_argument("--no-attribution", action="store_true",
                         help="skip the per-phase / call-tree attribution "
                              "section")
@@ -186,7 +243,7 @@ def main():
         raise SystemExit("no overlapping cells between baseline and current")
 
     unit = "x ref" if args.normalize else "s"
-    header = (f"{'policy':<8} {'nodes':>5} {'vms':>4} {'ten':>4} "
+    header = (f"{'policy':<8} {'nodes':>5} {'vms':>4} {'ten':>4} {'sh':>3} "
               f"{'baseline':>12} {'current':>12} {'delta':>8}")
     print(header)
     regressions = []
@@ -201,8 +258,8 @@ def main():
         if gated and b > 0 and c > b * (1.0 + args.threshold):
             flag = "  << REGRESSION"
             regressions.append((key, b, c, delta))
-        policy, nodes, vms, tenants = key
-        print(f"{policy:<8} {nodes:>5} {vms:>4} {tenants:>4} "
+        policy, nodes, vms, tenants, shards = key
+        print(f"{policy:<8} {nodes:>5} {vms:>4} {tenants:>4} {shards:>3} "
               f"{b:>10.4f}{unit:>2} {c:>10.4f}{unit:>2} "
               f"{delta:>+7.1%}{flag}")
 
@@ -224,15 +281,27 @@ def main():
                 scale = machine_base / machine_cur
         print_attribution(base_doc, cur_doc, key, scale)
 
+    floor_failures = []
+    if args.floor:
+        floor_failures = check_floor(cur_doc, load_floor(args.floor))
+
+    failed = False
     if regressions:
         print(f"\nFAIL: {len(regressions)} cell(s) regressed beyond "
               f"{args.threshold:.0%} on {args.metric}"
               + (f" (normalized to {args.normalize})" if args.normalize
                  else ""),
               file=sys.stderr)
+        failed = True
+    if floor_failures:
+        print(f"FAIL: {len(floor_failures)} cell(s) below the "
+              f"allocs-per-second floor", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print(f"\nOK: no cell regressed beyond {args.threshold:.0%} "
-          f"({len(shared)} cells compared)")
+          f"({len(shared)} cells compared"
+          + (", all floors honoured" if args.floor else "") + ")")
     return 0
 
 

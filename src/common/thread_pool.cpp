@@ -9,6 +9,28 @@
 
 namespace rrf {
 
+namespace {
+/// The pool whose work this thread is currently executing (a worker
+/// running a task, or a parallel_for caller stealing its own chunks).
+/// A re-entrant parallel_for on the same pool must not enqueue helper
+/// tasks: every nested call would push thread_count() helpers that mostly
+/// wake workers to find the chunk counter drained, and a deep enough
+/// nest floods the queue while the outer chunks' callers sit blocked in
+/// their completion waits.  Nested same-pool calls run inline instead —
+/// the outer parallel_for already owns the pool's parallelism.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+/// RAII marker so exceptions from task bodies restore the previous pool.
+struct ActivePoolScope {
+  const ThreadPool* previous;
+  explicit ActivePoolScope(const ThreadPool* pool)
+      : previous(t_active_pool) {
+    t_active_pool = pool;
+  }
+  ~ActivePoolScope() { t_active_pool = previous; }
+};
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -51,6 +73,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
 
     if (observer == nullptr) {
+      ActivePoolScope in_pool(this);
       task.fn();
       continue;
     }
@@ -63,7 +86,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     const auto idle = std::chrono::duration_cast<std::chrono::nanoseconds>(
         dequeued - idle_from);
     observer->on_task_start(queue_wait, idle, depth_after);
-    task.fn();
+    {
+      ActivePoolScope in_pool(this);
+      task.fn();
+    }
     observer->on_task_done(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - dequeued));
@@ -111,10 +137,15 @@ void ThreadPool::parallel_for(std::size_t n,
                               std::size_t grain) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
-  if (n <= grain || thread_count() <= 1) {
+  if (n <= grain || thread_count() <= 1 || t_active_pool == this) {
     // Below the grain (or with nobody to share with) the queue and the
-    // wakeups cost more than they buy: run serially on the caller.
-    // Exceptions propagate directly, same first-error semantics.
+    // wakeups cost more than they buy: run serially on the caller.  The
+    // same goes for a nested call from inside this pool's own work —
+    // the outer parallel_for already holds the pool's parallelism, and
+    // enqueuing helpers from here would only flood the queue (see
+    // t_active_pool above).  Exceptions propagate directly, same
+    // first-error semantics.  Like the other serial fallbacks, nested
+    // calls are not reported to the pool observer.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -150,8 +181,13 @@ void ThreadPool::parallel_for(std::size_t n,
 
   // The caller participates, then waits for stragglers.  `fn` must stay
   // alive until done == chunks, which this wait guarantees; the context
-  // itself is kept alive by the queued shared_ptr copies.
-  ctx->run();
+  // itself is kept alive by the queued shared_ptr copies.  The caller is
+  // marked as running this pool's work while it steals so that `fn`
+  // itself calling parallel_for on this pool takes the inline path.
+  {
+    ActivePoolScope in_pool(this);
+    ctx->run();
+  }
   {
     std::unique_lock lock(ctx->done_mu);
     ctx->done_cv.wait(lock,

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -16,7 +15,6 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/float_eq.hpp"
-#include "common/instrumented_mutex.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
@@ -28,6 +26,7 @@
 #include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 
 namespace rrf::sim {
 
@@ -125,6 +124,13 @@ struct NodeState {
   std::vector<double> slot_contributed;
   std::vector<double> slot_gained;
   std::vector<double> node_lambda;  // indexed by global tenant id
+  // Exchange inputs, filled by the settle phase and consumed by the
+  // window's canonical serial merge: the slot's demand in shares and its
+  // migration-adjusted perf score.  Keeping them per-node makes the
+  // parallel round lock-free — no shared accumulator is touched until
+  // the merge walks the nodes in ascending order.
+  std::vector<ResourceVector> slot_demand_shares;
+  std::vector<double> slot_score;
 
   double& phase_accum(obs::Phase phase) {
     return phase_seconds[static_cast<std::size_t>(phase)];
@@ -182,6 +188,8 @@ void refresh_alloc_cache(NodeState& node, const ResourceVector& host_capacity,
   node.slot_contributed.assign(n, 0.0);
   node.slot_gained.assign(n, 0.0);
   node.node_lambda.assign(tenant_count, 0.0);
+  node.slot_demand_shares.assign(n, ResourceVector(kDefaultResourceCount));
+  node.slot_score.assign(n, 0.0);
   node.entitlement_shares.assign(n, ResourceVector(kDefaultResourceCount));
   node.actual_demand.assign(n, ResourceVector(kDefaultResourceCount));
 }
@@ -431,7 +439,23 @@ SimResult run_simulation(const Scenario& scenario,
   std::vector<double> tenant_gained(tenant_count, 0.0);
   std::vector<double> tenant_lambda(tenant_count, 0.0);
   std::vector<double> node_pressure(host_count, 0.0);
-  InstrumentedMutex aggregate_mu("engine.aggregate");
+
+  // ---- shard plan for the parallel round ----
+  // One pool task per shard; each shard walks its contiguous node range
+  // serially.  `shards == 0` auto-sizes to a small multiple of the pool
+  // width (capped at the host count) so chunk stealing can smooth load
+  // imbalance between shards without drowning in dispatch overhead.
+  const bool parallel_round = config.parallel_nodes && host_count > 1;
+  std::unique_ptr<ShardExecutor> shard_executor;
+  if (parallel_round) {
+    const std::size_t auto_shards = std::min(
+        host_count, std::max<std::size_t>(1, global_pool().thread_count()) * 4);
+    const std::size_t shard_count =
+        config.shards > 0 ? config.shards : auto_shards;
+    shard_executor =
+        std::make_unique<ShardExecutor>(ShardPlan::build(host_count,
+                                                         shard_count));
+  }
 
   std::vector<double> tenant_share_sum(tenant_count, 0.0);
   for (std::size_t t = 0; t < tenant_count; ++t) {
@@ -786,32 +810,20 @@ SimResult run_simulation(const Scenario& scenario,
             cluster::host_pressure(cl.hosts()[h].capacity, demand_total);
       }
 
-      // Aggregate into tenant-level accumulators.
-      {
-        std::lock_guard lock(aggregate_mu);
-        for (std::size_t t = 0; t < tenant_count; ++t) {
-          tenant_lambda[t] += node.node_lambda[t];
+      // Exchange inputs: everything the window's global merge needs from
+      // this node, computed here (pure per-slot arithmetic, safe in
+      // parallel) so the merge itself only performs the accumulator adds
+      // in canonical node order.
+      for (std::size_t i = 0; i < n; ++i) {
+        node.slot_demand_shares[i] = pricing.shares_for(node.actual_demand[i]);
+        double score = perf.step_score(
+            scenario.workloads[node.slots[i].tenant]->metric(),
+            node.actual_demand[i], node.realized[i]);
+        if (node.slots[i].migration_penalty > 0) {
+          score *= config.rebalance.slowdown;
+          --node.slots[i].migration_penalty;
         }
-        for (std::size_t i = 0; i < n; ++i) {
-          const VmSlot& slot = node.slots[i];
-          tenant_granted[slot.tenant] += beta_shares[i];
-          tenant_contributed[slot.tenant] += slot_contributed[i];
-          tenant_gained[slot.tenant] += slot_gained[i];
-          const ResourceVector d_shares =
-              pricing.shares_for(node.actual_demand[i]);
-          tenant_demand_shares[slot.tenant] += d_shares;
-          double score = perf.step_score(
-              scenario.workloads[slot.tenant]->metric(),
-              node.actual_demand[i], node.realized[i]);
-          if (node.slots[i].migration_penalty > 0) {
-            score *= config.rebalance.slowdown;
-            --node.slots[i].migration_penalty;
-          }
-          const double weight = std::max(1e-9, d_shares.sum());
-          tenant_score_weighted[slot.tenant] += score * weight;
-          tenant_score_weight[slot.tenant] += weight;
-          used_total += node.realized[i] * config.window;
-        }
+        node.slot_score[i] = score;
       }
       settle_phase.stop();
 
@@ -835,10 +847,41 @@ SimResult run_simulation(const Scenario& scenario,
       // four phase frames nest under it, in the parallel path they root in
       // the worker threads' own arenas.
       obs::ProfileScope dispatch_profile("window.dispatch");
-      if (config.parallel_nodes && host_count > 1) {
-        global_pool().parallel_for(host_count, process_node);
+      if (parallel_round) {
+        shard_executor->run_round(process_node);
       } else {
         for (std::size_t h = 0; h < host_count; ++h) process_node(h);
+      }
+    }
+
+    // ---- global exchange: canonical serial merge in ascending node order.
+    // Every node published its exchange inputs (node_lambda, beta_shares,
+    // slot_{contributed,gained,demand_shares,score}) during its settle
+    // phase; folding them here, single-threaded and always in node order,
+    // makes the tenant ledgers bit-identical for any shard or thread
+    // count — and identical to the historical serial path, whose lock
+    // acquisition order was node order too.
+    {
+      obs::ProfileScope exchange_profile("window.exchange");
+      for (std::size_t h = 0; h < host_count; ++h) {
+        NodeState& node = nodes[h];
+        const std::size_t n = node.slots.size();
+        if (n == 0) continue;
+        for (std::size_t t = 0; t < tenant_count; ++t) {
+          tenant_lambda[t] += node.node_lambda[t];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const VmSlot& slot = node.slots[i];
+          tenant_granted[slot.tenant] += node.beta_shares[i];
+          tenant_contributed[slot.tenant] += node.slot_contributed[i];
+          tenant_gained[slot.tenant] += node.slot_gained[i];
+          const ResourceVector& d_shares = node.slot_demand_shares[i];
+          tenant_demand_shares[slot.tenant] += d_shares;
+          const double weight = std::max(1e-9, d_shares.sum());
+          tenant_score_weighted[slot.tenant] += node.slot_score[i] * weight;
+          tenant_score_weight[slot.tenant] += weight;
+          used_total += node.realized[i] * config.window;
+        }
       }
     }
 
@@ -1002,6 +1045,19 @@ SimResult run_simulation(const Scenario& scenario,
     result.alloc_invocations += node.alloc_invocations;
   }
   result.alloc_seconds_total = result.phase_total(obs::Phase::kAllocate);
+  if (shard_executor) {
+    // Fold in what the executor can't see: how many VM slots each shard's
+    // nodes ended the run hosting (the imbalance denominator).
+    for (ShardStats& stats : shard_executor->stats()) {
+      const ShardRange& range = shard_executor->plan().range(stats.shard);
+      stats.slots = 0;
+      for (std::size_t h = range.begin; h < range.end; ++h) {
+        stats.slots += nodes[h].slots.size();
+      }
+    }
+    shard_executor->publish_metrics();
+    result.shards = shard_executor->stats();
+  }
   if (auditor) result.alerts = auditor->alerts();
   if (obs::metrics_enabled()) {
     obs::metrics().counter("engine.windows").add(windows);

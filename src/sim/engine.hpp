@@ -99,6 +99,13 @@ struct EngineConfig {
   double ltrf_alpha = 0.05;
   /// Run nodes in parallel on the global thread pool.
   bool parallel_nodes = true;
+  /// Shard count for the parallel node round (sim/shard.hpp).  0 = auto:
+  /// a small multiple of the pool width, capped at the node count.  Any
+  /// value yields bit-identical allocations and ledgers — the global
+  /// exchange merges per-node results in canonical node order — so this
+  /// only tunes load balance, never results.  Ignored when the round runs
+  /// serially (parallel_nodes == false or a single node).
+  std::size_t shards = 0;
   RebalanceConfig rebalance;
   /// Continuous fairness auditing (SLO watchdog).  The auditor runs while
   /// metric collection is on (obs::metrics_enabled()) and audit.enabled is

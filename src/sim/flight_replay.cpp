@@ -167,6 +167,7 @@ json::Value engine_to_json(const EngineConfig& config) {
   out.emplace_back("perf", std::move(perf));
   out.emplace_back("ltrf_alpha", config.ltrf_alpha);
   out.emplace_back("parallel_nodes", config.parallel_nodes);
+  out.emplace_back("shards", static_cast<double>(config.shards));
   out.emplace_back("rebalance", std::move(rebalance));
   return out;
 }
@@ -232,6 +233,11 @@ EngineConfig engine_config_from_recording(
   config.use_predictor = bool_field(engine, "use_predictor");
   config.ltrf_alpha = num_field(engine, "ltrf_alpha");
   config.parallel_nodes = bool_field(engine, "parallel_nodes");
+  // Additive in schema v2: recordings made before sharding omit it.
+  if (const json::Value* shards = engine.find("shards");
+      shards != nullptr && shards->is_number()) {
+    config.shards = static_cast<std::size_t>(shards->as_number());
+  }
 
   const json::Value* predictor = engine.find("predictor");
   if (predictor == nullptr) fail("engine section: missing 'predictor'");
@@ -355,14 +361,6 @@ ReplayResult replay_recording(const obs::FlightRecording& recording) {
   config.duration =
       static_cast<double>(recording.rounds.size()) * config.window;
   Scenario scenario = scenario_from_recording(recording);
-
-  if (config.policy == PolicyKind::kRrfLt && config.parallel_nodes) {
-    result.warnings.push_back(
-        "policy rrf-lt with parallel_nodes accumulates its contribution "
-        "bank in thread-completion order; replay may diverge in the last "
-        "bits — re-record with parallel_nodes=false for a bit-exact "
-        "replay");
-  }
 
   std::ostringstream replayed_stream;
   {

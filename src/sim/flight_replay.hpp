@@ -9,9 +9,9 @@
 // rebuilds the cluster from the header and drives the workloads from the
 // *recorded* per-round demands, so replaying the recording through
 // run_simulation() re-derives every forecast, entitlement and actuator
-// target — bit-identically for every policy except rrf-lt under
-// parallel_nodes (its contribution bank sums float accumulators in
-// thread-completion order; replay_recording() warns about that case).
+// target — bit-identically for every policy, serial or parallel: the
+// engine's global exchange merges per-node results in canonical node
+// order regardless of shard or thread count.
 #pragma once
 
 #include <string>
@@ -44,7 +44,8 @@ struct ReplayResult {
   /// Recording-vs-replay comparison; identical == bit-exact replay.
   obs::FlightDiffResult diff;
   std::size_t rounds_replayed{0};
-  /// Non-fatal caveats (e.g. rrf-lt + parallel_nodes nondeterminism).
+  /// Non-fatal caveats surfaced during replay (currently none are
+  /// emitted; kept for report-schema stability).
   std::vector<std::string> warnings;
 };
 

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "obs/audit.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 
 namespace rrf::sim {
 
@@ -84,6 +85,11 @@ struct SimResult {
   /// Fairness SLO alerts the auditor raised during the run (empty unless
   /// metrics collection and EngineConfig::audit were both enabled).
   std::vector<obs::Alert> alerts;
+  /// Per-shard execution telemetry (busy seconds, node/slot counts) when
+  /// the run dispatched rounds through a ShardExecutor; empty for serial
+  /// runs.  The busy-seconds spread across shards is the load-imbalance
+  /// signal the profiler's shard frames attribute.
+  std::vector<ShardStats> shards;
 
   /// Geometric mean of per-tenant betas (the paper's "95% fairness").
   /// Defined for degenerate runs: 1.0 with no tenants, 0.0 if any beta

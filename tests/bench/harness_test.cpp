@@ -39,6 +39,53 @@ TEST(BenchHarness, ProducesOneCellPerPolicyPoint) {
   }
 }
 
+TEST(BenchHarness, ShardSweepMeasuresOneCellPerShardCount) {
+  bench::HarnessConfig config = tiny_config();
+  config.policies = {sim::PolicyKind::kRrf};
+  config.sweep = {{5, 3, 2}};  // 5 nodes: 2 does not divide, 7 exceeds
+  config.parallel_nodes = true;
+  config.shard_counts = {0, 2, 7};
+  const bench::Report report = bench::run_harness(config);
+  ASSERT_EQ(report.cells.size(), 3u);
+  // Entry 0 = serial baseline; >0 = sharded with that count.
+  EXPECT_EQ(report.cells[0].shards, 0u);
+  EXPECT_EQ(report.cells[1].shards, 2u);
+  EXPECT_EQ(report.cells[2].shards, 7u);
+  for (const bench::CellResult& cell : report.cells) {
+    EXPECT_GT(cell.allocs_per_second, 0.0);
+  }
+
+  // The shard axis survives the JSON round trip: per-cell "shards" and
+  // the config's "shard_counts" (what bench_compare keys cells by).
+  const json::Value doc = bench::report_to_json(report);
+  EXPECT_NO_THROW(bench::validate_report_json(doc));
+  const json::Value reparsed = json::Value::parse(doc.dump(2));
+  const auto& cells = reparsed.find("results")->as_array();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].find("shards")->as_number(), 0.0);
+  EXPECT_EQ(cells[1].find("shards")->as_number(), 2.0);
+  EXPECT_EQ(cells[2].find("shards")->as_number(), 7.0);
+  const json::Value* counts =
+      reparsed.find("config")->find("shard_counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->as_array().size(), 3u);
+}
+
+TEST(BenchHarness, ScaleConfigMeetsTheTierContract) {
+  const bench::HarnessConfig config = bench::scale_config();
+  ASSERT_FALSE(config.sweep.empty());
+  // The tier's advertised minimums: >= 1024 nodes, >= 100k VM slots.
+  EXPECT_GE(config.sweep[0].nodes, 1024u);
+  EXPECT_GE(config.sweep[0].nodes * config.sweep[0].vms_per_node, 100'000u);
+  EXPECT_TRUE(config.parallel_nodes);
+  // A serial baseline plus at least one sharded measurement, so the
+  // serial-vs-sharded ratio reads off one report.
+  ASSERT_GE(config.shard_counts.size(), 2u);
+  EXPECT_EQ(config.shard_counts[0], 0u);
+  EXPECT_GT(config.shard_counts[1], 0u);
+  EXPECT_EQ(config.label, "scale");
+}
+
 TEST(BenchHarness, EmittedJsonPassesSchemaAndParses) {
   const bench::Report report = bench::run_harness(tiny_config());
   const json::Value doc = bench::report_to_json(report);

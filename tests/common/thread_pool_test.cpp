@@ -198,6 +198,40 @@ class CountingObserver final : public ThreadPoolObserver {
 };
 }  // namespace
 
+TEST(ThreadPool, NestedOnSamePoolRunsInlineWithoutHelperTasks) {
+  // Regression: a parallel_for issued from inside this pool's own work
+  // (a worker task or a caller stealing chunks) used to enqueue a full
+  // set of helper tasks per nested call, flooding the queue — the outer
+  // call already owns the pool's parallelism, so the nested call must
+  // take the inline serial path and skip the queue entirely.
+  CountingObserver observer;
+  ThreadPoolObserver* const previous = thread_pool_observer();
+  set_thread_pool_observer(&observer);
+  {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 4 * 64);
+    // Only the outer dispatch hit the queue: one observed parallel_for
+    // (nested inline calls are serial fallbacks, not counted) and no
+    // more helper tasks than the outer call enqueued.
+    EXPECT_EQ(observer.parallel_fors.load(), 1u);
+    EXPECT_LE(observer.tasks_started.load(), pool.thread_count());
+  }
+  set_thread_pool_observer(previous);
+
+  // A *different* pool keeps dispatching normally from nested context.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  outer.parallel_for(2, [&](std::size_t) {
+    inner.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 2 * 32);
+}
+
 TEST(ThreadPool, ObserverSeesDispatchedWorkAndUninstallsCleanly) {
   CountingObserver observer;
   ThreadPoolObserver* const previous = thread_pool_observer();

@@ -80,6 +80,9 @@ struct CliOptions {
   std::string journal_path;
   /// Journal disk budget in bytes (0 = unbounded, no rotation).
   std::size_t journal_retention = 0;
+  /// Shard count for the parallel node round (0 = auto).  Results are
+  /// bit-identical for any value; this tunes load balance only.
+  std::size_t shards = 0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -102,6 +105,9 @@ struct CliOptions {
       "  --replay <path>     add a tenant replaying a CSV demand trace\n"
       "                      (t_seconds,cpu_ghz,ram_gb; repeatable)\n"
       "  --sliced            slice-level credit-scheduler dispatch\n"
+      "  --shards <n>        shard count for the parallel node round\n"
+      "                      (default 0 = auto-size to the thread pool);\n"
+      "                      allocations are bit-identical for any value\n"
       "  --synthetic <spec>  use the synthetic scenario instead of paper\n"
       "                      traces; spec is nodes,vms_per_node,tenants\n"
       "                      with an optional trailing ,seed\n"
@@ -180,6 +186,7 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--memory") options.memory = next(i);
     else if (arg == "--replay") options.replays.push_back(next(i));
     else if (arg == "--sliced") options.sliced = true;
+    else if (arg == "--shards") options.shards = std::stoul(next(i));
     else if (arg == "--synthetic") options.synthetic = next(i);
     else if (arg == "--csv") options.csv = next(i);
     else if (arg == "--record") options.record_path = next(i);
@@ -244,6 +251,7 @@ sim::EngineConfig engine_config(const CliOptions& options) {
   engine.use_actuators = options.actuators;
   engine.use_predictor = !options.oracle;
   engine.use_sliced_scheduler = options.sliced;
+  engine.shards = options.shards;
   if (options.memory == "balloon") {
     engine.memory_backend = hv::MemoryBackend::kBalloon;
   } else if (options.memory == "hotplug") {

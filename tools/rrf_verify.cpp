@@ -25,6 +25,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alloc/factory.hpp"
@@ -286,10 +287,7 @@ void run_engine_determinism(const Options& opt,
       sim::EngineConfig config;
       config.policy = sim::policy_from_string(name);
       config.duration = opt.duration;
-      // rrf-lt's contribution bank sums float accumulators in
-      // thread-completion order; it is only deterministic single-threaded
-      // (documented in sim/flight_replay.hpp).
-      config.parallel_nodes = config.policy != sim::PolicyKind::kRrfLt;
+      config.parallel_nodes = true;
       const std::string first = record_engine_run(scenario, config);
       const std::string second = record_engine_run(scenario, config);
       ++runs;
@@ -302,6 +300,69 @@ void run_engine_determinism(const Options& opt,
     }
     if (r.pass) {
       r.detail = std::to_string(runs) + " double-runs byte-identical";
+    }
+    out.push_back(r);
+  }
+}
+
+/// The round lines of a JSONL recording: everything between the header
+/// line and the trailer line.  Both legitimately differ across execution
+/// modes — the header embeds parallel_nodes and the shard count, and the
+/// trailer's byte tally includes the header's length — while the rounds
+/// carry every allocation-relevant value and must be byte-identical.
+std::string_view recording_rounds(const std::string& recording) {
+  std::string_view v(recording);
+  const std::size_t header_end = v.find('\n');
+  if (header_end != std::string_view::npos) v.remove_prefix(header_end + 1);
+  if (v.size() >= 2) {
+    const std::size_t trailer = v.rfind('\n', v.size() - 2);
+    if (trailer != std::string_view::npos) v = v.substr(0, trailer + 1);
+  }
+  return v;
+}
+
+/// The sharded round must be invisible in results: for every shard count
+/// (including counts that do not divide the node count and counts larger
+/// than it, which leave tail shards empty) the recorded rounds must be
+/// byte-identical to the serial run's.
+void run_shard_determinism(const Options& opt,
+                           std::vector<CheckResult>& out) {
+  const std::vector<std::string> policies = {
+      "tshirt", "wmmf", "drf", "drf-seq", "iwa", "rrf", "rrf-sp", "rrf-lt"};
+  const std::size_t shard_counts[] = {1, 2, 3, 7, 16};
+  for (const std::string& name : policies) {
+    if (!wants(opt, name)) continue;
+    CheckResult r{"engine.shard_determinism", name, true, ""};
+    std::size_t runs = 0;
+    for (std::size_t s = 0; s < opt.seeds && r.pass; ++s) {
+      sim::SyntheticConfig syn;
+      syn.nodes = 13;  // prime: exercises uneven and empty-shard splits
+      syn.vms_per_node = 4;
+      syn.tenants = 3;
+      syn.seed = opt.seed_base + s;
+      const sim::Scenario scenario = sim::make_synthetic_scenario(syn);
+
+      sim::EngineConfig config;
+      config.policy = sim::policy_from_string(name);
+      config.duration = opt.duration;
+      config.parallel_nodes = false;
+      const std::string serial = record_engine_run(scenario, config);
+      config.parallel_nodes = true;
+      for (const std::size_t shards : shard_counts) {
+        config.shards = shards;
+        const std::string sharded = record_engine_run(scenario, config);
+        ++runs;
+        if (recording_rounds(sharded) != recording_rounds(serial)) {
+          r.pass = false;
+          r.detail = "seed " + std::to_string(syn.seed) + ", shards " +
+                     std::to_string(shards) +
+                     ": recording diverges from the serial run";
+          break;
+        }
+      }
+    }
+    if (r.pass) {
+      r.detail = std::to_string(runs) + " sharded runs match serial";
     }
     out.push_back(r);
   }
@@ -397,6 +458,8 @@ int main(int argc, char** argv) {
     run_property_sweeps(opt, checks);
     if (!opt.quiet) std::cerr << "rrf_verify: engine determinism...\n";
     run_engine_determinism(opt, checks);
+    if (!opt.quiet) std::cerr << "rrf_verify: shard determinism...\n";
+    run_shard_determinism(opt, checks);
   } catch (const std::exception& e) {
     // A throw mid-sweep is itself a verification failure: report it
     // rather than dying without a report.
