@@ -9,6 +9,7 @@
 #include <ostream>
 #include <utility>
 
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -344,6 +345,7 @@ json::Value report_to_json(const Report& report) {
   json::Object doc{
       {"schema_version", kBenchSchemaVersion},
       {"generated_by", "rrf_bench"},
+      {"build", common::build_info_json()},
       {"config",
        json::Object{
            {"label", report.config.label},

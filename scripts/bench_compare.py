@@ -5,6 +5,11 @@ Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
                    [--metric median_round_seconds] [--normalize POLICY]
                    [--floor FLOOR.json]
+  bench_compare.py REPORT.json --floor FLOOR.json        (floor-only)
+
+With a single report and --floor, the relative comparison is skipped and
+only the absolute floor gate runs — the mode CI's scale-smoke uses,
+where no same-machine baseline report exists.
 
 Cells are matched by (policy, nodes, vms_per_node, tenants, shards);
 reports that predate the shard axis match as shards == 0 (serial).  A
@@ -209,7 +214,10 @@ def print_attribution(base_doc, cur_doc, worst_key, scale):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="omit for floor-only mode: the first "
+                             "positional is then gated against --floor "
+                             "with no relative comparison")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed relative slowdown (0.25 = +25%%)")
     parser.add_argument("--metric", default="median_round_seconds")
@@ -228,6 +236,21 @@ def main():
                         help="skip the per-phase / call-tree attribution "
                              "section")
     args = parser.parse_args()
+
+    if args.current is None:
+        # Floor-only mode: one report, no relative gate.
+        if not args.floor:
+            parser.error("a single report requires --floor "
+                         "(nothing to compare it against)")
+        cur_doc = load_report(args.baseline)
+        failures = check_floor(cur_doc, load_floor(args.floor))
+        if failures:
+            print(f"\nFAIL: {len(failures)} cell(s) below the "
+                  f"allocs-per-second floor", file=sys.stderr)
+            return 1
+        print(f"\nOK: all {len(load_floor(args.floor)['floors'])} "
+              f"floor(s) honoured")
+        return 0
 
     base_doc = load_report(args.baseline)
     cur_doc = load_report(args.current)

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "alloc/factory.hpp"
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 #include "obs/provenance.hpp"
 
@@ -45,6 +46,7 @@ obs::FlightRecording capture_alloc_round(
     tenant.vms.push_back(std::move(vm));
     header.tenants.push_back(std::move(tenant));
   }
+  header.build = common::build_info_json();
 
   obs::FlightRound round;
   obs::FlightNode node;

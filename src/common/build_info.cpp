@@ -1,0 +1,47 @@
+#include "common/build_info.hpp"
+
+#include "common/contract.hpp"
+
+// Configure-time stamps (src/common/CMakeLists.txt).  Guarded so the
+// file still compiles standalone (clang-tidy, IDE parses).
+#ifndef RRF_GIT_DESCRIBE
+#define RRF_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RRF_COMPILER_INFO
+#define RRF_COMPILER_INFO "unknown"
+#endif
+#ifndef RRF_BUILD_TYPE
+#define RRF_BUILD_TYPE "unknown"
+#endif
+
+namespace rrf::common {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git = RRF_GIT_DESCRIBE;
+    b.compiler = RRF_COMPILER_INFO;
+    b.build_type = RRF_BUILD_TYPE;
+    b.contracts = contract::kCompiledIn ? "compiled-in" : "stripped";
+    return b;
+  }();
+  return info;
+}
+
+json::Value build_info_json() {
+  const BuildInfo& b = build_info();
+  return json::Object{
+      {"git", b.git},
+      {"compiler", b.compiler},
+      {"build_type", b.build_type},
+      {"contracts", b.contracts},
+  };
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  return "rrf " + b.git + " " + b.compiler + " " + b.build_type +
+         " contracts=" + b.contracts;
+}
+
+}  // namespace rrf::common

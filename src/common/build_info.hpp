@@ -1,0 +1,36 @@
+// Build/version provenance for artifacts (see docs/OBSERVABILITY.md).
+//
+// Every durable artifact this system produces — telemetry journals,
+// flight recordings, bench reports, incident bundles, the /healthz
+// endpoint — answers "which binary made this?" by embedding the same
+// small build-info record: git describe, compiler, build type, and
+// contract mode.  The values are stamped at configure time by
+// src/common/CMakeLists.txt (RRF_GIT_DESCRIBE and friends); a build
+// outside git degrades to "unknown" rather than failing.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace rrf::common {
+
+struct BuildInfo {
+  std::string git;        ///< `git describe --always --dirty`, or "unknown"
+  std::string compiler;   ///< e.g. "GNU 13.2.0"
+  std::string build_type; ///< CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string contracts;  ///< "compiled-in" | "stripped"
+};
+
+/// The process-wide build record (computed once, immutable).
+const BuildInfo& build_info();
+
+/// `{"git":...,"compiler":...,"build_type":...,"contracts":...}` —
+/// the shape every artifact embeds under a "build" key.
+json::Value build_info_json();
+
+/// One-line rendering for text surfaces (/healthz, CLI banners):
+/// `rrf <git> <compiler> <build_type> contracts=<mode>`.
+std::string build_info_line();
+
+}  // namespace rrf::common

@@ -1,0 +1,237 @@
+#include "obs/detect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rrf::obs {
+
+namespace {
+
+constexpr std::array<const char*, kDetectorKindCount> kKindNames = {
+    "jain", "drift", "starvation", "throughput", "changepoint", "complaint"};
+
+/// The demand-capped entitlement gap: how far the tenant's granted share
+/// trails what she both bought and asked for.  Capping demand at 1.0
+/// keeps low-demand tenants (grant rightly below 1) out of the signal.
+/// Watches `granted` rather than the beta ledger `share`: an oversold
+/// node cuts every slot proportionally, which moves no asset between
+/// tenants (the ledger stays at 1.0) yet starves all of them.
+double entitlement_gap(const TenantRoundStat& t) {
+  return std::max(0.0, std::min(t.demand, 1.0) - t.granted);
+}
+
+}  // namespace
+
+const char* to_string(DetectorKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+void apply_detector_flag(DetectConfig& config, const std::string& flag) {
+  if (flag == "all") {
+    config.enabled.fill(true);
+    return;
+  }
+  if (flag == "none") {
+    config.enabled.fill(false);
+    return;
+  }
+  config.enabled.fill(false);
+  std::istringstream in(flag);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (name.empty()) continue;
+    bool known = false;
+    for (std::size_t k = 0; k < kDetectorKindCount; ++k) {
+      if (name == kKindNames[k]) {
+        config.enabled[k] = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw DomainError("detect: unknown detector '" + name +
+                        "' (expected all, none, or a comma list of: jain, "
+                        "drift, starvation, throughput, changepoint, "
+                        "complaint)");
+    }
+  }
+}
+
+DetectorBank::DetectorBank(DetectConfig config) : config_(config) {
+  RRF_REQUIRE(config_.fast_window > 0 &&
+                  config_.slow_window >= config_.fast_window,
+              "detect: windows need 0 < fast_window <= slow_window");
+  RRF_REQUIRE(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0 &&
+                  config_.baseline_alpha > 0.0 && config_.baseline_alpha <= 1.0,
+              "detect: EWMA weights must be in (0, 1]");
+  RRF_REQUIRE(config_.cusum_threshold > 0.0 && config_.throughput_factor > 1.0,
+              "detect: thresholds must be positive");
+}
+
+void DetectorBank::push_bad(BurnSeries& series, bool bad) const {
+  series.bad.push_back(bad ? 1 : 0);
+  if (bad) ++series.bad_slow;
+  while (series.bad.size() > config_.slow_window) {
+    if (series.bad.front() != 0) --series.bad_slow;
+    series.bad.pop_front();
+  }
+}
+
+double DetectorBank::fast_fraction(const BurnSeries& series) const {
+  const std::size_t n = std::min(series.bad.size(), config_.fast_window);
+  if (n == 0) return 0.0;
+  std::size_t bad = 0;
+  for (std::size_t i = series.bad.size() - n; i < series.bad.size(); ++i) {
+    if (series.bad[i] != 0) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(n);
+}
+
+double DetectorBank::slow_fraction(const BurnSeries& series) const {
+  if (series.bad.empty()) return 0.0;
+  return static_cast<double>(series.bad_slow) /
+         static_cast<double>(series.bad.size());
+}
+
+bool DetectorBank::burning(const BurnSeries& series) const {
+  if (series.bad.size() < config_.fast_window) return false;
+  return fast_fraction(series) >= config_.fast_burn &&
+         slow_fraction(series) >= config_.slow_burn;
+}
+
+std::vector<Detection> DetectorBank::observe_round(
+    const RoundSummary& summary) {
+  if (tenants_.empty() && !summary.tenants.empty()) {
+    tenants_.resize(summary.tenants.size());
+    tenant_names_.reserve(summary.tenants.size());
+    for (const TenantRoundStat& t : summary.tenants) {
+      tenant_names_.push_back(t.name);
+    }
+  }
+  RRF_REQUIRE(summary.tenants.size() == tenants_.size(),
+              "detect: tenant population changed mid-run");
+  ++rounds_;
+  const bool armed = rounds_ > config_.warmup_rounds;
+
+  std::vector<Detection> out;
+  const auto detect = [&](DetectorKind kind, std::int32_t tenant,
+                          double value, double threshold) {
+    Detection d;
+    d.kind = kind;
+    d.tenant = tenant;
+    if (tenant >= 0) {
+      d.tenant_name = tenant_names_[static_cast<std::size_t>(tenant)];
+    }
+    d.window = summary.window;
+    d.value = value;
+    d.threshold = threshold;
+    out.push_back(std::move(d));
+  };
+
+  // Cluster-wide: Jain burn rate.
+  push_bad(jain_, summary.jain < config_.jain_min);
+  if (armed && enabled(DetectorKind::kJain) && burning(jain_)) {
+    detect(DetectorKind::kJain, -1, summary.jain, config_.jain_min);
+  }
+
+  // Cluster-wide: throughput burn rate against a slow EWMA baseline.
+  double wall = 0.0;
+  for (const double s : summary.phase_seconds) wall += s;
+  const bool wall_bad = wall_baseline_init_ && wall_baseline_ > 0.0 &&
+                        wall > config_.throughput_factor * wall_baseline_;
+  push_bad(throughput_, wall_bad);
+  if (armed && enabled(DetectorKind::kThroughput) && burning(throughput_)) {
+    detect(DetectorKind::kThroughput, -1, wall,
+           config_.throughput_factor * wall_baseline_);
+  }
+  // Baseline updates after classification so a regression cannot drag
+  // its own yardstick along with it within the fast window.
+  if (!wall_baseline_init_) {
+    wall_baseline_ = wall;
+    wall_baseline_init_ = wall > 0.0;
+  } else {
+    wall_baseline_ += config_.baseline_alpha * (wall - wall_baseline_);
+  }
+
+  // Per-tenant detectors.
+  for (std::size_t i = 0; i < summary.tenants.size(); ++i) {
+    const TenantRoundStat& t = summary.tenants[i];
+    TenantState& state = tenants_[i];
+    const auto tenant = static_cast<std::int32_t>(i);
+    const double gap = entitlement_gap(t);
+
+    push_bad(state.drift, gap > config_.drift_gap_max);
+    if (armed && enabled(DetectorKind::kDrift) && burning(state.drift)) {
+      detect(DetectorKind::kDrift, tenant, gap, config_.drift_gap_max);
+    }
+
+    push_bad(state.starve, t.demand >= config_.starvation_demand &&
+                               t.granted < config_.starvation_share);
+    if (armed && enabled(DetectorKind::kStarvation) && burning(state.starve)) {
+      detect(DetectorKind::kStarvation, tenant, t.granted,
+             config_.starvation_share);
+    }
+
+    // CUSUM (Page's one-sided test) on the gap against its own EWMA
+    // baseline: accumulates excursions above mu + slack, drains as the
+    // gap closes.  The baseline updates after the residual so a step
+    // change is charged before the EWMA absorbs it.
+    const double residual = gap - state.gap_mu - config_.cusum_slack;
+    state.cusum = std::max(0.0, state.cusum + residual);
+    if (!state.gap_mu_init) {
+      state.gap_mu = gap;
+      state.gap_mu_init = true;
+      state.cusum = 0.0;
+    } else {
+      state.gap_mu += config_.ewma_alpha * (gap - state.gap_mu);
+    }
+    if (armed && enabled(DetectorKind::kChangepoint) &&
+        state.cusum > config_.cusum_threshold) {
+      detect(DetectorKind::kChangepoint, tenant, state.cusum,
+             config_.cusum_threshold);
+    }
+
+    // Justified complaint: the EWMA entitlement deficit counts only
+    // while the tenant is a net reciprocity contributor.
+    state.contributed_total += t.contributed;
+    state.gained_total += t.gained;
+    state.complaint += config_.ewma_alpha * (gap - state.complaint);
+    const bool net_contributor =
+        state.contributed_total > state.gained_total + 1e-12;
+    if (armed && enabled(DetectorKind::kComplaint) && net_contributor &&
+        state.complaint > config_.complaint_min) {
+      detect(DetectorKind::kComplaint, tenant, state.complaint,
+             config_.complaint_min);
+    }
+  }
+  return out;
+}
+
+json::Value DetectorBank::state_json() const {
+  json::Array tenants;
+  tenants.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantState& s = tenants_[i];
+    tenants.push_back(json::Object{
+        {"tenant", tenant_names_[i]},
+        {"gap_ewma", s.gap_mu},
+        {"cusum", s.cusum},
+        {"complaint", s.complaint},
+        {"contributed_total", s.contributed_total},
+        {"gained_total", s.gained_total},
+        {"drift_bad_slow", s.drift.bad_slow},
+        {"starvation_bad_slow", s.starve.bad_slow},
+    });
+  }
+  return json::Object{
+      {"rounds", rounds_},
+      {"wall_baseline_seconds", wall_baseline_},
+      {"jain_bad_slow", jain_.bad_slow},
+      {"throughput_bad_slow", throughput_.bad_slow},
+      {"tenants", std::move(tenants)},
+  };
+}
+
+}  // namespace rrf::obs

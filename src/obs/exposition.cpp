@@ -15,8 +15,10 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/incident.hpp"
 #include "obs/ops.hpp"
 #include "obs/profiler.hpp"
 
@@ -445,7 +447,7 @@ std::string ExpositionServer::respond(const std::string& method,
     body = ss.str();
     content_type = "application/json";
   } else if (route == "/healthz" || route == "/") {
-    body = "ok\n";
+    body = "ok " + common::build_info_line() + "\n";
   } else if (route == "/readyz") {
     bool ready = true;
     std::string why;
@@ -482,6 +484,25 @@ std::string ExpositionServer::respond(const std::string& method,
     status = 503;
     status_text = "Service Unavailable";
     body = "no ops hub attached (run with --serve-ops)\n";
+  } else if (route == "/incidents") {
+    content_type = "application/json";
+    body = (config_.incidents != nullptr
+                ? config_.incidents->incidents_json()
+                : std::string(R"({"schema":"rrf-incidents","version":1,)"
+                              R"("open":0,"total":0,"incidents":[]})")) +
+           "\n";
+  } else if (route.rfind("/incidents/", 0) == 0) {
+    const std::string id(route.substr(std::string_view("/incidents/").size()));
+    std::optional<std::string> doc;
+    if (config_.incidents != nullptr) doc = config_.incidents->incident_json(id);
+    if (doc.has_value()) {
+      content_type = "application/json";
+      body = *doc + "\n";
+    } else {
+      status = 404;
+      status_text = "Not Found";
+      body = "unknown incident id\n";
+    }
   } else if (route == "/profile") {
     if (!profiling_enabled()) {
       status = 503;

@@ -16,7 +16,8 @@
 //    dispatching a fixed route table:
 //      GET /metrics       Prometheus text format
 //      GET /metrics.json  the registry's JSON document
-//      GET /healthz       liveness — "ok" while the server runs
+//      GET /healthz       liveness — "ok" plus the build-info line
+//                         (common/build_info.hpp) while the server runs
 //      GET /readyz        readiness — 503 once the stall watchdog trips
 //                         (no allocation round within stall_deadline_seconds;
 //                         requires an attached OpsHub, else mirrors /healthz)
@@ -28,6 +29,9 @@
 //                         buffered backlog and ends — for curl/CI)
 //      GET /profile       collapsed-flamegraph snapshot (503 while the
 //                         profiler is disabled)
+//      GET /incidents     the IncidentManager's incident list as JSON
+//                         (the empty document without a manager)
+//      GET /incidents/<id>  one incident's full manifest (404 unknown id)
 //    Binding port 0 picks an ephemeral port (port() reports the real one).
 //    The accept loop hands each connection to a short-lived handler thread
 //    so a slow scrape or a following /rounds subscriber never blocks other
@@ -55,6 +59,7 @@
 namespace rrf::obs {
 
 class OpsHub;
+class IncidentManager;
 
 /// Builds a registry key carrying exposition labels, e.g.
 /// labeled("fairness.tenant_beta", {{"tenant", "tpcc-1"}})
@@ -101,6 +106,9 @@ class ExpositionServer {
     /// keeps those endpoints in degraded mode (/rounds answers 503,
     /// /alerts serves the empty document, /readyz mirrors /healthz).
     OpsHub* ops = nullptr;
+    /// The incident engine behind /incidents.  Null keeps the routes in
+    /// degraded mode (/incidents serves the empty document, ids 404).
+    IncidentManager* incidents = nullptr;
   };
 
   /// `registry` defaults to the process-global metrics() registry.

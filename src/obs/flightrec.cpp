@@ -156,6 +156,7 @@ json::Value flight_header_to_json(const FlightHeader& header) {
   }
   out.emplace_back("unplaced", std::move(unplaced));
   out.emplace_back("engine", header.engine);
+  if (header.build.is_object()) out.emplace_back("build", header.build);
   return out;
 }
 
@@ -212,6 +213,11 @@ FlightHeader flight_header_from_json(const json::Value& value) {
         static_cast<std::size_t>(u.as_array()[1].as_number()));
   }
   header.engine = field(value, "engine");
+  // Additive: recordings written before the build stamp existed lack it.
+  if (const json::Value* build = value.find("build")) {
+    if (!build->is_object()) fail("field 'build' is not an object");
+    header.build = *build;
+  }
   return header;
 }
 

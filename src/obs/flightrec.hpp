@@ -73,6 +73,10 @@ struct FlightHeader {
   /// Producer-owned engine configuration (opaque to this layer; the sim
   /// serializes/parses it in sim/flight_replay.cpp).  Null for "alloc".
   json::Value engine;
+  /// Build-info stamp of the producing binary (common/build_info.hpp);
+  /// null in recordings written before the stamp existed.  Ignored by
+  /// diff_recordings — provenance, not allocation state.
+  json::Value build;
 };
 
 /// One VM slot's inputs and final decision in one round.

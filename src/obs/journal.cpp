@@ -5,6 +5,7 @@
 #include <iterator>
 #include <utility>
 
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 
 namespace rrf::obs {
@@ -75,6 +76,7 @@ json::Value journal_header_to_json(const JournalHeader& header) {
   out.emplace_back("tenants", std::move(tenants));
   out.emplace_back("segment", header.segment);
   out.emplace_back("continued", header.continued);
+  if (header.build.is_object()) out.emplace_back("build", header.build);
   return out;
 }
 
@@ -101,6 +103,11 @@ JournalHeader journal_header_from_json(const json::Value& value) {
   }
   header.segment = size_field(value, "segment");
   header.continued = bool_field(value, "continued");
+  // Additive: journals written before the build stamp existed lack it.
+  if (const json::Value* build = value.find("build")) {
+    if (!build->is_object()) fail("field 'build' is not an object");
+    header.build = *build;
+  }
   return header;
 }
 
@@ -135,6 +142,45 @@ JournalAlert journal_alert_from_json(const json::Value& value) {
   return alert;
 }
 
+json::Value journal_incident_to_json(const JournalIncident& incident) {
+  json::Object out;
+  out.emplace_back("t", "incident");
+  out.emplace_back("state", incident.opened ? "opened" : "resolved");
+  out.emplace_back("id", incident.id);
+  out.emplace_back("window", incident.window);
+  out.emplace_back("severity", incident.severity);
+  json::Array kinds;
+  kinds.reserve(incident.kinds.size());
+  for (const std::string& k : incident.kinds) kinds.emplace_back(k);
+  out.emplace_back("kinds", std::move(kinds));
+  out.emplace_back("dir", incident.dir);
+  return out;
+}
+
+JournalIncident journal_incident_from_json(const json::Value& value) {
+  if (!value.is_object()) fail("incident record is not an object");
+  if (str_field(value, "t") != "incident") {
+    fail("record tag is not 'incident'");
+  }
+  JournalIncident incident;
+  const std::string state = str_field(value, "state");
+  if (state != "opened" && state != "resolved") {
+    fail("incident state '" + state + "' is neither 'opened' nor 'resolved'");
+  }
+  incident.opened = state == "opened";
+  incident.id = str_field(value, "id");
+  incident.window = size_field(value, "window");
+  incident.severity = str_field(value, "severity");
+  const json::Value& kinds = field(value, "kinds");
+  if (!kinds.is_array()) fail("field 'kinds' is not an array");
+  for (const json::Value& k : kinds.as_array()) {
+    if (!k.is_string()) fail("incident kind is not a string");
+    incident.kinds.push_back(k.as_string());
+  }
+  incident.dir = str_field(value, "dir");
+  return incident;
+}
+
 // ---------------------------------------------------------------------------
 // Loading
 // ---------------------------------------------------------------------------
@@ -145,6 +191,7 @@ struct Segment {
   JournalHeader header;
   std::vector<RoundSummary> rounds;
   std::vector<JournalAlert> alerts;
+  std::vector<JournalIncident> incidents;
   std::optional<JournalEnd> end;
   bool truncated_tail{false};
 };
@@ -187,10 +234,16 @@ Segment load_segment(const std::string& path) {
         seg.rounds.push_back(round_summary_from_json(value));
       } else if (tag == "alert") {
         seg.alerts.push_back(journal_alert_from_json(value));
+      } else if (tag == "incident") {
+        seg.incidents.push_back(journal_incident_from_json(value));
       } else if (tag == "end") {
         JournalEnd end;
         end.rounds = size_field(value, "rounds");
         end.alerts = size_field(value, "alerts");
+        // Additive: end records written before incidents existed lack it.
+        if (value.find("incidents") != nullptr) {
+          end.incidents = size_field(value, "incidents");
+        }
         seg.end = end;
       } else {
         fail("unknown record tag '" + tag + "'");
@@ -221,6 +274,7 @@ JournalData JournalData::load_file(const std::string& path) {
         data.header = only.header;
         data.rounds = std::move(only.rounds);
         data.alerts = std::move(only.alerts);
+        data.incidents = std::move(only.incidents);
         data.end = only.end;
         data.truncated_tail = only.truncated_tail;
         data.notes.push_back(path +
@@ -256,6 +310,7 @@ JournalData JournalData::load_file(const std::string& path) {
           data.header = prev.header;
           data.rounds = std::move(prev.rounds);
           data.alerts = std::move(prev.alerts);
+          data.incidents = std::move(prev.incidents);
           if (prev.truncated_tail) {
             data.notes.push_back(prev_path +
                                  ": rotated segment has a truncated final "
@@ -274,6 +329,9 @@ JournalData JournalData::load_file(const std::string& path) {
   data.alerts.insert(data.alerts.end(),
                      std::make_move_iterator(active.alerts.begin()),
                      std::make_move_iterator(active.alerts.end()));
+  data.incidents.insert(data.incidents.end(),
+                        std::make_move_iterator(active.incidents.begin()),
+                        std::make_move_iterator(active.incidents.end()));
   return data;
 }
 
@@ -309,6 +367,7 @@ void TelemetryJournal::open_segment() {
   header.tenants = options_.tenants;
   header.segment = segment_;
   header.continued = segment_ > 0;
+  header.build = common::build_info_json();
   write_line(journal_header_to_json(header).dump());
 }
 
@@ -344,6 +403,13 @@ void TelemetryJournal::record_alert(const JournalAlert& alert) {
   ++alerts_;
 }
 
+void TelemetryJournal::record_incident(const JournalIncident& incident) {
+  if (finished_) fail("record_incident after finish");
+  maybe_rotate();
+  write_line(journal_incident_to_json(incident).dump());
+  ++incidents_;
+}
+
 void TelemetryJournal::finish() {
   if (finished_) return;
   finished_ = true;
@@ -351,6 +417,7 @@ void TelemetryJournal::finish() {
   end.emplace_back("t", "end");
   end.emplace_back("rounds", rounds_);
   end.emplace_back("alerts", alerts_);
+  end.emplace_back("incidents", incidents_);
   write_line(json::Value(std::move(end)).dump());
   out_.close();
 }

@@ -9,13 +9,15 @@
 // leaves a forensically useful trail on disk.  The framing follows the
 // flightrec conventions:
 //   line 1    — header: {"schema":"rrf-telemetry","version":1,"kind",
-//               "policy","tenants",segment,"continued"};
-//   lines 2.. — {"t":"round",...} (obs/ops.hpp round shape) and
-//               {"t":"alert","state":"raised"|"resolved",...} records,
-//               interleaved in emission order;
-//   last line — an optional {"t":"end","rounds","alerts"} record,
-//               written on clean shutdown only.  Its absence is the
-//               crash marker.
+//               "policy","tenants",segment,"continued","build"} (the
+//               build-info stamp identifies the producing binary);
+//   lines 2.. — {"t":"round",...} (obs/ops.hpp round shape),
+//               {"t":"alert","state":"raised"|"resolved",...} and
+//               {"t":"incident","state":"opened"|"resolved",...}
+//               records, interleaved in emission order;
+//   last line — an optional {"t":"end","rounds","alerts","incidents"}
+//               record, written on clean shutdown only.  Its absence is
+//               the crash marker.
 //
 // Durability beats throughput here: every record is flushed to the OS
 // as it is written, so a SIGKILL loses at most the in-flight line (the
@@ -51,6 +53,9 @@ struct JournalHeader {
   std::vector<std::string> tenants;
   std::size_t segment{0};  ///< rotation generation (0 = first)
   bool continued{false};   ///< true when older records were rotated away
+  /// Build-info stamp of the producing binary (common/build_info.hpp);
+  /// null in journals written before the stamp existed.
+  json::Value build;
 };
 
 /// One persisted alert raise/resolve edge.
@@ -64,22 +69,36 @@ struct JournalAlert {
   double threshold{0.0};
 };
 
+/// One persisted incident open/resolve edge (obs/incident.hpp).
+struct JournalIncident {
+  std::string id;      ///< "inc-0001"
+  bool opened{true};   ///< false = resolved
+  std::size_t window{0};
+  std::string severity;  ///< "minor" | "major" | "critical"
+  std::vector<std::string> kinds;  ///< detector kinds involved
+  std::string dir;  ///< forensic bundle directory (may be empty)
+};
+
 struct JournalEnd {
   std::size_t rounds{0};
   std::size_t alerts{0};
+  std::size_t incidents{0};
 };
 
 // ---- serialization (shared by the writer, the loader and tests) ----
 json::Value journal_header_to_json(const JournalHeader& header);
 json::Value journal_alert_to_json(const JournalAlert& alert);
+json::Value journal_incident_to_json(const JournalIncident& incident);
 JournalHeader journal_header_from_json(const json::Value& value);
 JournalAlert journal_alert_from_json(const json::Value& value);
+JournalIncident journal_incident_from_json(const json::Value& value);
 
 /// A fully loaded journal (both rotation segments merged).
 struct JournalData {
   JournalHeader header;  ///< oldest loaded segment's header
   std::vector<RoundSummary> rounds;
   std::vector<JournalAlert> alerts;
+  std::vector<JournalIncident> incidents;
   std::optional<JournalEnd> end;  ///< absent = the run did not shut down
                                   ///  cleanly (or is still writing)
   /// True when the final line of the newest segment was cut mid-record
@@ -121,6 +140,7 @@ class TelemetryJournal {
   /// call from one thread at a time (the engine thread).
   void record_round(const RoundSummary& summary);
   void record_alert(const JournalAlert& alert);
+  void record_incident(const JournalIncident& incident);
 
   /// Writes the end record and closes the file.  Idempotent; called by
   /// the destructor if the caller forgot.
@@ -128,6 +148,7 @@ class TelemetryJournal {
 
   std::size_t rounds_recorded() const { return rounds_; }
   std::size_t alerts_recorded() const { return alerts_; }
+  std::size_t incidents_recorded() const { return incidents_; }
   std::size_t segment() const { return segment_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
 
@@ -143,6 +164,7 @@ class TelemetryJournal {
   std::uint64_t bytes_written_{0};
   std::size_t rounds_{0};
   std::size_t alerts_{0};
+  std::size_t incidents_{0};
   bool finished_{false};
 };
 

@@ -65,6 +65,7 @@ json::Value round_summary_to_json(const RoundSummary& summary) {
     tenant.emplace_back("name", t.name);
     tenant.emplace_back("share", t.share);
     tenant.emplace_back("demand", t.demand);
+    tenant.emplace_back("granted", t.granted);
     tenant.emplace_back("contributed", t.contributed);
     tenant.emplace_back("gained", t.gained);
     tenants.emplace_back(std::move(tenant));
@@ -98,6 +99,11 @@ RoundSummary round_summary_from_json(const json::Value& value) {
     stat.name = str_field(t, "name");
     stat.share = num_field(t, "share");
     stat.demand = num_field(t, "demand");
+    // Additive since the incident-detection schema rev: older journals
+    // and fixtures carry no "granted"; the ledger position is the best
+    // stand-in (they coincide whenever nothing is oversold).
+    stat.granted =
+        t.find("granted") != nullptr ? num_field(t, "granted") : stat.share;
     stat.contributed = num_field(t, "contributed");
     stat.gained = num_field(t, "gained");
     out.tenants.push_back(std::move(stat));

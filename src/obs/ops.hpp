@@ -44,6 +44,12 @@ struct TenantRoundStat {
   std::string name;
   double share{0.0};        ///< ledger position / S(i) this window
   double demand{0.0};       ///< demanded shares / S(i) this window
+  /// Granted entitlement / S(i) this window.  Distinct from `share`: the
+  /// ledger position only moves when one tenant funds another, so on an
+  /// oversold node where everyone is cut proportionally `share` stays at
+  /// 1.0 while `granted` drops below it — the starvation and drift
+  /// detectors watch this field for exactly that reason.
+  double granted{0.0};
   double contributed{0.0};  ///< tenant-funded shares handed to others
   double gained{0.0};       ///< tenant-funded shares taken from others
 };

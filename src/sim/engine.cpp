@@ -19,6 +19,7 @@
 #include "common/thread_pool.hpp"
 #include "hypervisor/node.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops.hpp"
@@ -146,6 +147,15 @@ void refresh_alloc_cache(NodeState& node, const ResourceVector& host_capacity,
   node.pool = ResourceVector(kDefaultResourceCount);
   for (const VmSlot& slot : node.slots) node.pool += slot.initial_share;
   node.capacity_shares = pricing.shares_for(host_capacity);
+  // The arbitrated pool is the sold shares, capped at what the host can
+  // physically back: an oversold node cannot grant shares it does not
+  // have, so its tenants contend for the capacity-backed pool and their
+  // share-vs-entitlement ratios drop below 1.  When sold <= capacity —
+  // every placed paper scenario and any synthetic fill*overcommit <= 1 —
+  // the cap is a no-op and allocation is bit-identical.
+  for (std::size_t k = 0; k < node.pool.size(); ++k) {
+    node.pool[k] = std::min(node.pool[k], node.capacity_shares[k]);
+  }
 
   node.flat_entities.assign(n, alloc::AllocationEntity());
   for (std::size_t i = 0; i < n; ++i) {
@@ -428,6 +438,12 @@ SimResult run_simulation(const Scenario& scenario,
   // Per-window per-tenant aggregates (filled by the node loop).
   std::vector<ResourceVector> tenant_granted(
       tenant_count, ResourceVector(kDefaultResourceCount));
+  // Entitlements actually handed down this window.  tenant_granted is the
+  // beta LEDGER position (it only moves when one tenant funds another);
+  // on an oversold node every slot is cut proportionally, the ledger
+  // stays flat and only this aggregate shows the starvation.
+  std::vector<ResourceVector> tenant_entitled(
+      tenant_count, ResourceVector(kDefaultResourceCount));
   std::vector<ResourceVector> tenant_demand_shares(
       tenant_count, ResourceVector(kDefaultResourceCount));
   std::vector<double> tenant_score_weighted(tenant_count, 0.0);
@@ -492,12 +508,62 @@ SimResult run_simulation(const Scenario& scenario,
   }
 
   // ---- live ops plane (round summaries + alert transitions) ----
-  const bool ops_on = config.ops != nullptr || config.journal != nullptr;
+  const bool ops_on = config.ops != nullptr || config.journal != nullptr ||
+                      config.incidents != nullptr;
   // Cumulative per-phase seconds at the previous window tail, so each
   // RoundSummary carries this window's delta alone.
   std::array<double, obs::kPhaseCount> ops_phase_prev{};
   // Auditor transitions already drained into the journal / alerts doc.
   std::size_t ops_transition_cursor = 0;
+  // Incident open/resolve edges already relayed into the journal.
+  std::size_t incident_event_cursor = 0;
+  const auto relay_incidents = [&]() {
+    if (config.incidents == nullptr || config.journal == nullptr) return;
+    for (const obs::IncidentEvent& ev :
+         config.incidents->events_since(&incident_event_cursor)) {
+      obs::JournalIncident rec;
+      rec.id = ev.id;
+      rec.opened = ev.opened;
+      rec.window = ev.window;
+      rec.severity = obs::to_string(ev.severity);
+      rec.kinds = ev.kinds;
+      rec.dir = ev.dir;
+      config.journal->record_incident(rec);
+    }
+  };
+  if (config.incidents != nullptr) {
+    config.incidents->set_metadata("policy", to_string(config.policy));
+    config.incidents->set_metadata("windows", std::to_string(windows));
+    config.incidents->set_metadata("window_seconds",
+                                   std::to_string(config.window));
+    config.incidents->set_metadata("hosts", std::to_string(host_count));
+    config.incidents->set_metadata("tenants", std::to_string(tenant_count));
+    if (auditor) {
+      obs::FairnessAuditor* aud = auditor.get();
+      config.incidents->set_alerts_provider(
+          [aud]() { return obs::alerts_document(*aud).dump(); });
+    }
+    if (shard_executor) {
+      ShardExecutor* exec = shard_executor.get();
+      config.incidents->set_extra_provider("shards.json", [exec]() {
+        json::Object doc;
+        doc.emplace_back("schema", "rrf-shards");
+        doc.emplace_back("version", 1);
+        json::Array entries;
+        for (const ShardStats& s : exec->stats()) {
+          const ShardRange& range = exec->plan().range(s.shard);
+          json::Object so;
+          so.emplace_back("shard", s.shard);
+          so.emplace_back("nodes", range.end - range.begin);
+          so.emplace_back("rounds", s.rounds);
+          so.emplace_back("busy_seconds", s.busy_seconds);
+          entries.emplace_back(std::move(so));
+        }
+        doc.emplace_back("shards", std::move(entries));
+        return json::Value(std::move(doc)).dump();
+      });
+    }
+  }
 
   // ---- flight recorder (allocation provenance) ----
   // Per-node capture buffers; each is filled by the one worker thread that
@@ -603,6 +669,7 @@ SimResult run_simulation(const Scenario& scenario,
     }
 
     for (auto& g : tenant_granted) g = ResourceVector(kDefaultResourceCount);
+    for (auto& e : tenant_entitled) e = ResourceVector(kDefaultResourceCount);
     for (auto& d : tenant_demand_shares) {
       d = ResourceVector(kDefaultResourceCount);
     }
@@ -873,6 +940,7 @@ SimResult run_simulation(const Scenario& scenario,
         for (std::size_t i = 0; i < n; ++i) {
           const VmSlot& slot = node.slots[i];
           tenant_granted[slot.tenant] += node.beta_shares[i];
+          tenant_entitled[slot.tenant] += node.entitlement_shares[i];
           tenant_contributed[slot.tenant] += node.slot_contributed[i];
           tenant_gained[slot.tenant] += node.slot_gained[i];
           const ResourceVector& d_shares = node.slot_demand_shares[i];
@@ -958,6 +1026,7 @@ SimResult run_simulation(const Scenario& scenario,
         const double initial = tenant_share_sum[t];
         stat.share = tenant_granted[t].sum() / initial;
         stat.demand = tenant_demand_shares[t].sum() / initial;
+        stat.granted = tenant_entitled[t].sum() / initial;
         stat.contributed = tenant_contributed[t];
         stat.gained = tenant_gained[t];
         share_ratio[t] = stat.share;
@@ -980,6 +1049,9 @@ SimResult run_simulation(const Scenario& scenario,
         summary.alerts_total = auditor->alerts().size();
         fresh = auditor->transitions_since(ops_transition_cursor);
       }
+      if (config.incidents != nullptr) {
+        config.incidents->observe_round(summary);
+      }
       if (config.journal != nullptr) {
         for (const obs::AlertTransition& tr : fresh) {
           obs::JournalAlert alert;
@@ -995,6 +1067,7 @@ SimResult run_simulation(const Scenario& scenario,
           alert.threshold = tr.threshold;
           config.journal->record_alert(alert);
         }
+        relay_incidents();
         config.journal->record_round(summary);
       }
       ops_transition_cursor += fresh.size();
@@ -1057,6 +1130,13 @@ SimResult run_simulation(const Scenario& scenario,
     }
     shard_executor->publish_metrics();
     result.shards = shard_executor->stats();
+  }
+  if (config.incidents != nullptr) {
+    config.incidents->finalize();
+    relay_incidents();
+    // The providers capture auditor/shard state local to this run; never
+    // leave them dangling on the caller-owned manager.
+    config.incidents->clear_providers();
   }
   if (auditor) result.alerts = auditor->alerts();
   if (obs::metrics_enabled()) {

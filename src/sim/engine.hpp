@@ -23,6 +23,7 @@
 
 namespace rrf::obs {
 class FlightRecorder;
+class IncidentManager;
 class OpsHub;
 class TelemetryJournal;
 }  // namespace rrf::obs
@@ -134,6 +135,12 @@ struct EngineConfig {
   /// raise/resolve transition.  Not owned; the caller opens it (header)
   /// and calls finish() after the run.
   obs::TelemetryJournal* journal = nullptr;
+  /// Optional incident engine (obs/incident.hpp): the engine feeds it the
+  /// same per-window RoundSummary, installs forensic-bundle providers
+  /// (the auditor's alert document, per-shard stats) and relays incident
+  /// open/resolve transitions into the journal.  Not owned; detection is
+  /// observation-only and never alters allocations.
+  obs::IncidentManager* incidents = nullptr;
   /// Optional per-window callback (custom metrics, live dashboards,
   /// convergence studies).  Called on the simulation thread after every
   /// window; must not throw.

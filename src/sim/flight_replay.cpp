@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "alloc/flight_capture.hpp"
+#include "common/build_info.hpp"
 #include "common/error.hpp"
 
 namespace rrf::sim {
@@ -209,6 +210,7 @@ obs::FlightHeader make_flight_header(const Scenario& scenario,
   }
   header.unplaced = scenario.unplaced;
   header.engine = engine_to_json(config);
+  header.build = common::build_info_json();
   return header;
 }
 

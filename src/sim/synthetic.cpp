@@ -96,6 +96,8 @@ Scenario make_synthetic_scenario(const SyntheticConfig& config) {
   RRF_REQUIRE(config.fill > 0.0 && config.amplitude >= 0.0 &&
                   config.period > 0.0,
               "bad synthetic demand parameters");
+  RRF_REQUIRE(config.overcommit > 0.0,
+              "synthetic overcommit must be positive");
 
   std::vector<cluster::HostSpec> hosts;
   hosts.reserve(config.nodes);
@@ -105,9 +107,11 @@ Scenario make_synthetic_scenario(const SyntheticConfig& config) {
   const ResourceVector host_capacity = hosts.front().capacity;
 
   // Every VM is provisioned the same slice of a host, `fill` of capacity
-  // split across the node's VM population.
+  // split across the node's VM population (scaled past what the host has
+  // when overcommit > 1; 1.0 multiplies by exactly 1 and is bit-exact).
   ResourceVector vm_provisioned = host_capacity;
-  vm_provisioned *= config.fill / static_cast<double>(config.vms_per_node);
+  vm_provisioned *= config.fill * config.overcommit /
+                    static_cast<double>(config.vms_per_node);
   const std::size_t vcpus = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::lround(vm_provisioned[0] / wl::kCoreGhz)));

@@ -32,6 +32,13 @@ struct SyntheticConfig {
   double amplitude = 0.7;
   /// Demand oscillation period (seconds).
   Seconds period = 120.0;
+  /// Multiplier on each VM's provisioned capacity beyond what the host
+  /// actually has (1.0 = honest provisioning).  Values > 1 sell more
+  /// capacity than exists, so saturated demand leaves every VM short of
+  /// its provisioned share — the canonical starvation scenario for the
+  /// incident detectors (obs/detect.hpp).  Host capacity is unchanged,
+  /// so 1.0 is bit-identical to the pre-overcommit builder.
+  double overcommit = 1.0;
 };
 
 /// Builds the synthetic scenario.  Requires nodes, vms_per_node and

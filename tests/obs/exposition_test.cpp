@@ -17,6 +17,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "obs/incident.hpp"
 #include "obs/ops.hpp"
 
 namespace rrf::obs {
@@ -481,6 +482,54 @@ TEST(ObsExposition, ProfileEndpointRequiresTheProfiler) {
   const std::string response = http_get(server.port(), "/profile");
   // The profiler is off in this test binary: degraded mode is explicit.
   EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(ObsExposition, IncidentRoutesServeTheManagerAndDegradeWithoutOne) {
+  // Degraded mode: no manager attached -> the empty document, ids 404.
+  ExpositionServer bare;
+  bare.start();
+  const std::string empty = http_get(bare.port(), "/incidents");
+  EXPECT_NE(empty.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(empty.find(R"("incidents":[])"), std::string::npos);
+  const std::string missing = http_get(bare.port(), "/incidents/inc-0001");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  bare.stop();
+
+  // Live manager: drive it into one open incident, then fetch both
+  // routes.  Small windows so a handful of rounds suffices.
+  IncidentConfig incident_config;
+  incident_config.detect.warmup_rounds = 2;
+  incident_config.detect.fast_window = 3;
+  incident_config.detect.slow_window = 10;
+  incident_config.open_after_rounds = 2;
+  IncidentManager manager(incident_config);
+  for (std::size_t w = 0; w < 16; ++w) {
+    RoundSummary summary;
+    summary.window = w;
+    summary.jain = 1.0;
+    TenantRoundStat tenant;
+    tenant.name = "victim";
+    tenant.share = 1.0;
+    tenant.demand = 1.0;
+    tenant.granted = w < 10 ? 1.0 : 0.4;  // starved from window 10 on
+    summary.tenants = {tenant};
+    manager.observe_round(summary);
+  }
+  ASSERT_EQ(manager.open_count(), 1u);
+
+  ExpositionServer::Config config;
+  config.incidents = &manager;
+  ExpositionServer server(config);
+  server.start();
+  const std::string list = http_get(server.port(), "/incidents");
+  EXPECT_NE(list.find(R"("id":"inc-0001")"), std::string::npos) << list;
+  EXPECT_NE(list.find(R"("state":"open")"), std::string::npos);
+  const std::string one = http_get(server.port(), "/incidents/inc-0001");
+  EXPECT_NE(one.find(R"("schema":"rrf-incident")"), std::string::npos) << one;
+  EXPECT_NE(one.find("victim"), std::string::npos);
+  const std::string unknown = http_get(server.port(), "/incidents/inc-0042");
+  EXPECT_NE(unknown.find("HTTP/1.1 404"), std::string::npos);
   server.stop();
 }
 

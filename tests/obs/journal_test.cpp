@@ -257,5 +257,64 @@ TEST(JournalTest, AlertJsonRoundTrip) {
   EXPECT_DOUBLE_EQ(out.threshold, in.threshold);
 }
 
+JournalIncident incident_at(std::size_t window, bool opened) {
+  JournalIncident incident;
+  incident.id = "inc-0001";
+  incident.opened = opened;
+  incident.window = window;
+  incident.severity = opened ? "major" : "critical";
+  incident.kinds = {"starvation", "drift"};
+  incident.dir = "/var/run/rrf/incidents/inc-0001";
+  return incident;
+}
+
+TEST(JournalTest, IncidentJsonRoundTrip) {
+  const JournalIncident in = incident_at(9, true);
+  const JournalIncident out =
+      journal_incident_from_json(journal_incident_to_json(in));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.opened, in.opened);
+  EXPECT_EQ(out.window, in.window);
+  EXPECT_EQ(out.severity, in.severity);
+  EXPECT_EQ(out.kinds, in.kinds);
+  EXPECT_EQ(out.dir, in.dir);
+}
+
+TEST(JournalTest, IncidentRecordsPersistAndCountInTheEndRecord) {
+  const std::string path = temp_path("journal_incidents.jsonl");
+  {
+    TelemetryJournal journal(options_for(path));
+    journal.record_round(round_at(0));
+    journal.record_incident(incident_at(12, true));
+    journal.record_round(round_at(1));
+    journal.record_incident(incident_at(40, false));
+    journal.finish();
+    EXPECT_EQ(journal.incidents_recorded(), 2u);
+  }
+  const JournalData data = JournalData::load_file(path);
+  ASSERT_EQ(data.incidents.size(), 2u);
+  EXPECT_TRUE(data.incidents[0].opened);
+  EXPECT_EQ(data.incidents[0].window, 12u);
+  EXPECT_EQ(data.incidents[0].kinds,
+            (std::vector<std::string>{"starvation", "drift"}));
+  EXPECT_FALSE(data.incidents[1].opened);
+  EXPECT_EQ(data.incidents[1].severity, "critical");
+  ASSERT_TRUE(data.end.has_value());
+  EXPECT_EQ(data.end->incidents, 2u);
+}
+
+TEST(JournalTest, HeaderCarriesBuildProvenance) {
+  const std::string path = temp_path("journal_build.jsonl");
+  {
+    TelemetryJournal journal(options_for(path));
+    journal.record_round(round_at(0));
+    journal.finish();
+  }
+  const JournalData data = JournalData::load_file(path);
+  ASSERT_TRUE(data.header.build.is_object());
+  EXPECT_NE(data.header.build.find("compiler"), nullptr);
+  EXPECT_NE(data.header.build.find("build_type"), nullptr);
+}
+
 }  // namespace
 }  // namespace rrf::obs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/exposition.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops.hpp"
@@ -159,14 +160,19 @@ TEST(OpsNeutrality, AttachingTheOpsPlaneChangesNoAllocation) {
     };
     obs::OpsHub hub;
     std::unique_ptr<obs::TelemetryJournal> journal;
+    std::unique_ptr<obs::IncidentManager> incidents;
     if (with_ops) {
       std::remove(journal_path.c_str());
       obs::TelemetryJournal::Options options;
       options.path = journal_path;
       options.policy = "rrf";
       journal = std::make_unique<obs::TelemetryJournal>(std::move(options));
+      // Incident detection rides the same summary feed and must be just
+      // as allocation-neutral as the hub and the journal.
+      incidents = std::make_unique<obs::IncidentManager>(obs::IncidentConfig{});
       config.ops = &hub;
       config.journal = journal.get();
+      config.incidents = incidents.get();
     }
     run_simulation(build_scenario(stress_scenario()), config);
     return positions;

@@ -30,12 +30,14 @@ RoundSummary sample_summary() {
   a.name = "tpcc-1";
   a.share = 1.25;
   a.demand = 1.6;
+  a.granted = 1.1;
   a.contributed = 0.0;
   a.gained = 37.5;
   TenantRoundStat b;
   b.name = "hadoop-2";
   b.share = 0.75;
   b.demand = 0.4;
+  b.granted = 0.4;
   b.contributed = 37.5;
   b.gained = 0.0;
   summary.tenants = {a, b};
@@ -59,9 +61,37 @@ TEST(OpsRoundSummary, JsonRoundTripPreservesEveryField) {
     EXPECT_EQ(out.tenants[i].name, in.tenants[i].name);
     EXPECT_DOUBLE_EQ(out.tenants[i].share, in.tenants[i].share);
     EXPECT_DOUBLE_EQ(out.tenants[i].demand, in.tenants[i].demand);
+    EXPECT_DOUBLE_EQ(out.tenants[i].granted, in.tenants[i].granted);
     EXPECT_DOUBLE_EQ(out.tenants[i].contributed, in.tenants[i].contributed);
     EXPECT_DOUBLE_EQ(out.tenants[i].gained, in.tenants[i].gained);
   }
+}
+
+TEST(OpsRoundSummary, MissingGrantedFallsBackToTheLedgerShare) {
+  // Journals written before the incident-detection schema rev carry no
+  // "granted"; the ledger position stands in for it on load.
+  json::Value doc = round_summary_to_json(sample_summary());
+  json::Array tenants;
+  for (const json::Value& t : doc.find("tenants")->as_array()) {
+    json::Object pruned;
+    for (const auto& [key, value] : t.as_object()) {
+      if (key != "granted") pruned.emplace_back(key, value);
+    }
+    tenants.emplace_back(std::move(pruned));
+  }
+  json::Object out;
+  for (auto& [key, value] : doc.as_object()) {
+    if (key == "tenants") {
+      out.emplace_back("tenants", std::move(tenants));
+    } else {
+      out.emplace_back(key, std::move(value));
+    }
+  }
+  const RoundSummary parsed =
+      round_summary_from_json(json::Value(std::move(out)));
+  ASSERT_EQ(parsed.tenants.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.tenants[0].granted, parsed.tenants[0].share);
+  EXPECT_DOUBLE_EQ(parsed.tenants[1].granted, parsed.tenants[1].share);
 }
 
 TEST(OpsRoundSummary, SerializedLineParsesBackFromText) {

@@ -17,6 +17,7 @@
 #include "alloc/entity_io.hpp"
 #include "alloc/factory.hpp"
 #include "alloc/flight_capture.hpp"
+#include "cli_util.hpp"
 #include "common/stats.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
@@ -47,11 +48,7 @@ using namespace rrf;
       "  --profile <path>  attach the hierarchical profiler to the round;\n"
       "                    Chrome trace JSON if the path ends in .json,\n"
       "                    collapsed-stack flamegraph text otherwise\n"
-      "  --journal <path>  append a schema-v1 telemetry journal (JSONL)\n"
-      "                    with the round's summary; inspect with\n"
-      "                    rrf_inspect journal\n"
-      "  --journal-retention <bytes>  journal disk budget (default 0 =\n"
-      "                    unbounded)\n"
+      << tools::kJournalFlagsHelp <<
       "  --serve-ops <p>   serve the ops plane (/metrics, /healthz,\n"
       "                    /readyz, /alerts, /rounds, /profile) on port\n"
       "                    <p> after the round (0 = ephemeral)\n"
@@ -136,8 +133,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string profile_path;
-  std::string journal_path;
-  std::size_t journal_retention = 0;
+  tools::JournalCliOptions journal;
   int serve_ops_port = -1;
   double serve_hold = 5.0;
 
@@ -154,9 +150,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--metrics") metrics_path = next();
     else if (arg == "--profile") profile_path = next();
-    else if (arg == "--journal") journal_path = next();
-    else if (arg == "--journal-retention")
-      journal_retention = std::stoull(next());
+    else if (journal.parse_flag(arg, next)) {}
     else if (arg == "--serve-ops") serve_ops_port = std::stoi(next());
     else if (arg == "--serve-hold") serve_hold = std::stod(next());
     else if (input_path.empty()) input_path = arg;
@@ -204,7 +198,7 @@ int main(int argc, char** argv) {
     }
     // One-shot ops-plane digest of the round: per-entity share/demand
     // ratios (relative to bought shares) and declared surplus flows.
-    if (!journal_path.empty() || serve_ops_port >= 0) {
+    if (journal.enabled() || serve_ops_port >= 0) {
       obs::RoundSummary summary;
       summary.slots = entities.size();
       std::vector<double> share_ratio;
@@ -215,6 +209,7 @@ int main(int argc, char** argv) {
         stat.name = entity.name;
         const double initial = std::max(1e-12, entity.initial_share.sum());
         stat.share = result.allocations[i].sum() / initial;
+        stat.granted = stat.share;  // one-shot round: the grant IS the ledger
         stat.demand = entity.demand.sum() / initial;
         for (std::size_t k = 0; k < entity.initial_share.size(); ++k) {
           const double delta =
@@ -229,20 +224,19 @@ int main(int argc, char** argv) {
                       [](double s) { return s > 0.0; });
       summary.jain = any_share ? jain_index(share_ratio) : 1.0;
 
-      if (!journal_path.empty()) {
-        obs::TelemetryJournal::Options journal_options;
-        journal_options.path = journal_path;
-        journal_options.max_bytes = journal_retention;
+      if (journal.enabled()) {
+        obs::TelemetryJournal::Options journal_options =
+            journal.writer_options();
         journal_options.kind = "alloc";
         journal_options.policy = policy_name;
         for (const alloc::AllocationEntity& entity : entities) {
           journal_options.tenants.push_back(entity.name);
         }
-        obs::TelemetryJournal journal(std::move(journal_options));
-        journal.record_round(summary);
-        journal.finish();
-        std::cout << "wrote " << journal_path << " ("
-                  << journal.bytes_written() << " bytes)\n";
+        obs::TelemetryJournal writer(std::move(journal_options));
+        writer.record_round(summary);
+        writer.finish();
+        std::cout << "wrote " << journal.path << " ("
+                  << writer.bytes_written() << " bytes)\n";
       }
       if (serve_ops_port >= 0) {
         obs::OpsHub hub;

@@ -5,6 +5,7 @@
 //   rrf_inspect explain <recording.jsonl> --round <n> --tenant <name|idx>
 //                       [--node <n>]
 //   rrf_inspect journal <telemetry.jsonl> [--tail <n>]   # validate/summarize
+//   rrf_inspect incident validate|summarize|explain <bundle-dir>
 //
 // `replay` re-runs the recording through the deterministic engine (or the
 // one-shot allocation path for "alloc" recordings) and exits non-zero if
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "obs/flightrec.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 #include "sim/flight_replay.hpp"
 
@@ -48,7 +50,17 @@ using namespace rrf;
       "      validate and summarize a telemetry journal (rounds, alert\n"
       "      transitions, fairness ranges, clean-shutdown state); --tail\n"
       "      prints the last <n> round records; exit 1 on any schema\n"
-      "      violation\n";
+      "      violation\n\n"
+      "  rrf_inspect incident validate <bundle-dir>\n"
+      "      check an incident bundle end to end: manifest schema, every\n"
+      "      listed file present and parseable; exit 1 on any violation\n\n"
+      "  rrf_inspect incident summarize <bundle-dir>\n"
+      "      one-screen digest: state, severity, detector kinds,\n"
+      "      implicated tenants, captured rounds and build provenance\n\n"
+      "  rrf_inspect incident explain <bundle-dir>\n"
+      "      per-tenant narrative from the captured evidence: which\n"
+      "      detectors implicated whom, share vs demand over the\n"
+      "      evidence window, reciprocity flows\n";
   std::exit(code);
 }
 
@@ -212,6 +224,216 @@ int cmd_journal(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- incident bundles ----
+
+std::string manifest_str(const json::Value& manifest, const char* key) {
+  const json::Value* v = manifest.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : "?";
+}
+
+std::string joined_kinds(const json::Value* kinds) {
+  if (kinds == nullptr || !kinds->is_array()) return "?";
+  std::string out;
+  for (const json::Value& k : kinds->as_array()) {
+    if (!k.is_string()) continue;
+    if (!out.empty()) out += "+";
+    out += k.as_string();
+  }
+  return out.empty() ? "none" : out;
+}
+
+double series_mean(const json::Value* series) {
+  if (series == nullptr || !series->is_array() || series->as_array().empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const json::Value& v : series->as_array()) {
+    if (v.is_number()) sum += v.as_number();
+  }
+  return sum / static_cast<double>(series->as_array().size());
+}
+
+double series_sum(const json::Value* series) {
+  if (series == nullptr || !series->is_array()) return 0.0;
+  double sum = 0.0;
+  for (const json::Value& v : series->as_array()) {
+    if (v.is_number()) sum += v.as_number();
+  }
+  return sum;
+}
+
+int cmd_incident_validate(const obs::IncidentBundle& bundle,
+                          const std::string& dir) {
+  if (bundle.valid()) {
+    const json::Value* files = bundle.manifest.find("files");
+    std::cout << "valid incident bundle " << manifest_str(bundle.manifest, "id")
+              << " (" << dir << "): manifest ok, "
+              << (files != nullptr && files->is_object()
+                      ? files->as_object().size()
+                      : 0)
+              << " file(s) present and parseable, " << bundle.rounds.size()
+              << " captured round(s)\n";
+    return 0;
+  }
+  for (const std::string& problem : bundle.problems) {
+    std::cout << "violation: " << problem << "\n";
+  }
+  std::cout << bundle.problems.size() << " violation(s)\n";
+  return 1;
+}
+
+int cmd_incident_summarize(const obs::IncidentBundle& bundle) {
+  const json::Value& m = bundle.manifest;
+  std::cout << "incident " << manifest_str(m, "id") << " ["
+            << manifest_str(m, "severity") << "] " << manifest_str(m, "state")
+            << "\n";
+  const json::Value* opened = m.find("opened_window");
+  const json::Value* firing = m.find("firing_rounds");
+  const json::Value* detections = m.find("detections");
+  std::cout << "  opened at window "
+            << (opened != nullptr && opened->is_number()
+                    ? format_num(opened->as_number())
+                    : "?")
+            << ", " << (firing != nullptr && firing->is_number()
+                            ? format_num(firing->as_number())
+                            : "?")
+            << " firing round(s), "
+            << (detections != nullptr && detections->is_number()
+                    ? format_num(detections->as_number())
+                    : "?")
+            << " detection(s)\n";
+  std::cout << "  kinds: " << joined_kinds(m.find("kinds")) << "\n";
+  const json::Value* tenants = m.find("tenants");
+  if (tenants != nullptr && tenants->is_array() &&
+      !tenants->as_array().empty()) {
+    std::cout << "  implicated tenants:\n";
+    for (const json::Value& t : tenants->as_array()) {
+      if (!t.is_object()) continue;
+      const json::Value* name = t.find("tenant");
+      const json::Value* count = t.find("detections");
+      std::cout << "    "
+                << (name != nullptr && name->is_string() ? name->as_string()
+                                                         : "?")
+                << " (" << joined_kinds(t.find("kinds")) << ", "
+                << (count != nullptr && count->is_number()
+                        ? format_num(count->as_number())
+                        : "?")
+                << " detection(s))\n";
+    }
+  } else {
+    std::cout << "  implicated tenants: none (cluster-wide signals only)\n";
+  }
+  if (!bundle.rounds.empty()) {
+    double jain_lo = bundle.rounds.front().jain;
+    double jain_hi = jain_lo;
+    for (const obs::RoundSummary& round : bundle.rounds) {
+      jain_lo = std::min(jain_lo, round.jain);
+      jain_hi = std::max(jain_hi, round.jain);
+    }
+    std::cout << "  captured rounds: " << bundle.rounds.size() << " (windows "
+              << bundle.rounds.front().window << ".."
+              << bundle.rounds.back().window << ", jain "
+              << format_num(jain_lo) << ".." << format_num(jain_hi) << ")\n";
+  }
+  const json::Value* build = m.find("build");
+  if (build != nullptr && build->is_object()) {
+    std::cout << "  build: " << manifest_str(*build, "git") << " ("
+              << manifest_str(*build, "compiler") << ", "
+              << manifest_str(*build, "build_type") << ", contracts "
+              << manifest_str(*build, "contracts") << ")\n";
+  }
+  const json::Value* metadata = m.find("metadata");
+  if (metadata != nullptr && metadata->is_object() &&
+      !metadata->as_object().empty()) {
+    std::cout << "  run:";
+    for (const auto& [k, v] : metadata->as_object()) {
+      if (v.is_string()) std::cout << " " << k << "=" << v.as_string();
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_incident_explain(const obs::IncidentBundle& bundle) {
+  const json::Value& m = bundle.manifest;
+  std::cout << "incident " << manifest_str(m, "id") << ": detectors "
+            << joined_kinds(m.find("kinds")) << " fired over the captured "
+            << bundle.rounds.size() << " round(s)\n\n";
+  const json::Value* tenants = m.find("tenants");
+  if (tenants == nullptr || !tenants->is_array() ||
+      tenants->as_array().empty()) {
+    std::cout << "No tenant was individually implicated: every signal was\n"
+                 "cluster-wide (Jain fairness or allocator throughput).\n";
+    return 0;
+  }
+  // Evidence series per tenant name, when evidence.json made it into the
+  // bundle.
+  const json::Value* evidence_tenants =
+      bundle.evidence.is_object() ? bundle.evidence.find("tenants") : nullptr;
+  for (const json::Value& t : tenants->as_array()) {
+    if (!t.is_object()) continue;
+    const std::string name = manifest_str(t, "tenant");
+    std::cout << name << ":\n";
+    std::cout << "  implicated by " << joined_kinds(t.find("kinds"));
+    const json::Value* count = t.find("detections");
+    if (count != nullptr && count->is_number()) {
+      std::cout << " across " << format_num(count->as_number())
+                << " detection(s)";
+    }
+    std::cout << "\n";
+    const json::Value* value = t.find("last_value");
+    const json::Value* threshold = t.find("last_threshold");
+    if (value != nullptr && value->is_number() && threshold != nullptr &&
+        threshold->is_number()) {
+      std::cout << "  last reading " << format_num(value->as_number())
+                << " against threshold " << format_num(threshold->as_number())
+                << "\n";
+    }
+    if (evidence_tenants != nullptr && evidence_tenants->is_array()) {
+      for (const json::Value& e : evidence_tenants->as_array()) {
+        if (!e.is_object() || manifest_str(e, "tenant") != name) continue;
+        // "granted" (entitlement actually handed down) is the starvation
+        // signal; bundles predating it carry only the ledger "share".
+        const json::Value* granted = e.find("granted");
+        const double share =
+            series_mean(granted != nullptr ? granted : e.find("share"));
+        const double demand = series_mean(e.find("demand"));
+        const double contributed = series_sum(e.find("contributed"));
+        const double gained = series_sum(e.find("gained"));
+        std::cout << "  over the evidence window it held "
+                  << format_num(share * 100.0) << "% of its entitlement while "
+                  << "demanding " << format_num(demand * 100.0) << "%";
+        if (demand > 1e-9 && share < demand) {
+          std::cout << " — a " << format_num((demand - share) * 100.0)
+                    << "-point deficit";
+        }
+        std::cout << "\n  reciprocity ledger: contributed "
+                  << format_num(contributed) << " shares, gained back "
+                  << format_num(gained) << " shares";
+        if (contributed > gained) {
+          std::cout << " (net contributor: its complaint is justified)";
+        }
+        std::cout << "\n";
+        break;
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_incident(const std::vector<std::string>& args) {
+  if (args.size() != 2) usage(2);
+  const std::string& action = args[0];
+  if (action != "validate" && action != "summarize" && action != "explain") {
+    usage(2);
+  }
+  const obs::IncidentBundle bundle = obs::IncidentBundle::load_dir(args[1]);
+  if (action == "validate") return cmd_incident_validate(bundle, args[1]);
+  if (action == "summarize") return cmd_incident_summarize(bundle);
+  return cmd_incident_explain(bundle);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +446,7 @@ int main(int argc, char** argv) {
     if (verb == "diff") return cmd_diff(args);
     if (verb == "explain") return cmd_explain(args);
     if (verb == "journal") return cmd_journal(args);
+    if (verb == "incident") return cmd_incident(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

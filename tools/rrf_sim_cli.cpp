@@ -19,12 +19,15 @@
 #include <thread>
 #include <vector>
 
+#include "cli_util.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/experiments.hpp"
 #include "obs/audit.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/incident.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ops.hpp"
@@ -76,10 +79,16 @@ struct CliOptions {
   double serve_hold = 0.0;
   /// /readyz stall watchdog deadline in seconds (0 disables).
   double stall_deadline = 60.0;
-  /// Telemetry journal output (JSONL); empty = journaling off.
-  std::string journal_path;
-  /// Journal disk budget in bytes (0 = unbounded, no rotation).
-  std::size_t journal_retention = 0;
+  /// Telemetry journal flags (shared with rrf_alloc_cli, cli_util.hpp).
+  tools::JournalCliOptions journal;
+  /// Incident bundle root (--incidents-dir); enables the incident engine.
+  std::string incidents_dir;
+  /// Detector selection ("all", "none" or a comma list); non-empty also
+  /// enables the incident engine (in-memory when no --incidents-dir).
+  std::string detectors;
+  /// Synthetic-scenario provisioning multiplier (--overcommit); > 1 sells
+  /// more capacity than the hosts have, the seeded starvation scenario.
+  double overcommit = 1.0;
   /// Shard count for the parallel node round (0 = auto).  Results are
   /// bit-identical for any value; this tunes load balance only.
   std::size_t shards = 0;
@@ -143,12 +152,21 @@ struct CliOptions {
       "                      (default 0; use with --serve-metrics/ops)\n"
       "  --stall-deadline <s> /readyz answers 503 when no round completes\n"
       "                      within <s> seconds (default 60; 0 disables)\n"
-      "  --journal <path>    append a schema-v1 telemetry journal (JSONL)\n"
-      "                      of round summaries + alert transitions;\n"
-      "                      inspect with rrf_inspect journal (single\n"
-      "                      policy only)\n"
-      "  --journal-retention <bytes>  bound journal disk use via\n"
-      "                      two-segment rotation (default 0 = unbounded)\n"
+      << tools::kJournalFlagsHelp <<
+      "  --incidents-dir <d> enable the incident engine (multi-window SLO\n"
+      "                      burn-rate + changepoint detectors over the\n"
+      "                      round feed) and write one forensic bundle\n"
+      "                      directory per incident under <d>; inspect\n"
+      "                      with rrf_inspect incident (single policy\n"
+      "                      only)\n"
+      "  --detectors <list>  detector selection: all, none, or a comma\n"
+      "                      list of jain,drift,starvation,throughput,\n"
+      "                      changepoint,complaint.  Implies the incident\n"
+      "                      engine (in memory when no --incidents-dir)\n"
+      "  --overcommit <f>    synthetic scenarios only: provision each VM\n"
+      "                      <f>x its honest share (default 1.0); > 1\n"
+      "                      oversells capacity so saturated demand\n"
+      "                      starves tenants — the seeded incident demo\n"
       "  --help\n";
   std::exit(code);
 }
@@ -197,9 +215,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--serve-ops") options.serve_ops_port = std::stoi(next(i));
     else if (arg == "--serve-hold") options.serve_hold = std::stod(next(i));
     else if (arg == "--stall-deadline") options.stall_deadline = std::stod(next(i));
-    else if (arg == "--journal") options.journal_path = next(i);
-    else if (arg == "--journal-retention")
-      options.journal_retention = std::stoull(next(i));
+    else if (options.journal.parse_flag(arg, [&] { return next(i); })) {}
+    else if (arg == "--incidents-dir") options.incidents_dir = next(i);
+    else if (arg == "--detectors") options.detectors = next(i);
+    else if (arg == "--overcommit") options.overcommit = std::stod(next(i));
     else if (arg == "--workloads") {
       options.workloads.clear();
       std::stringstream ss(next(i));
@@ -220,8 +239,18 @@ CliOptions parse(int argc, char** argv) {
     std::cerr << "--record captures one run; pick a single --policy\n";
     usage(2);
   }
-  if (!options.journal_path.empty() && options.policy == "all") {
+  if (options.journal.enabled() && options.policy == "all") {
     std::cerr << "--journal captures one run; pick a single --policy\n";
+    usage(2);
+  }
+  if ((!options.incidents_dir.empty() || !options.detectors.empty()) &&
+      options.policy == "all") {
+    std::cerr << "incident detection follows one run; pick a single "
+                 "--policy\n";
+    usage(2);
+  }
+  if (options.overcommit != 1.0 && options.synthetic.empty()) {
+    std::cerr << "--overcommit only applies to --synthetic scenarios\n";
     usage(2);
   }
   return options;
@@ -242,6 +271,46 @@ sim::SyntheticConfig parse_synthetic(const std::string& spec) {
   config.tenants = values[2];
   if (values.size() == 4) config.seed = values[3];
   return config;
+}
+
+std::unique_ptr<obs::IncidentManager> make_incident_manager(
+    const CliOptions& options) {
+  if (options.incidents_dir.empty() && options.detectors.empty()) {
+    return nullptr;
+  }
+  obs::IncidentConfig config;
+  config.dir = options.incidents_dir;
+  if (!options.detectors.empty()) {
+    try {
+      obs::apply_detector_flag(config.detect, options.detectors);
+    } catch (const DomainError& e) {
+      std::cerr << e.what() << "\n";
+      usage(2);
+    }
+  }
+  return std::make_unique<obs::IncidentManager>(config);
+}
+
+void print_incident_summary(const obs::IncidentManager& manager) {
+  const std::vector<obs::Incident> incidents = manager.incidents();
+  if (incidents.empty()) {
+    std::cout << "incidents: none\n";
+    return;
+  }
+  std::cout << "incidents: " << incidents.size() << " opened, "
+            << manager.open_count() << " still open\n";
+  for (const obs::Incident& incident : incidents) {
+    std::cout << "  " << incident.id << " ["
+              << obs::to_string(incident.severity) << "] "
+              << (incident.open ? "open" : "resolved") << " w"
+              << incident.opened_window;
+    std::cout << " kinds=";
+    for (std::size_t i = 0; i < incident.kinds.size(); ++i) {
+      std::cout << (i > 0 ? "+" : "") << incident.kinds[i];
+    }
+    if (!incident.dir.empty()) std::cout << " bundle=" << incident.dir;
+    std::cout << "\n";
+  }
 }
 
 sim::EngineConfig engine_config(const CliOptions& options) {
@@ -356,12 +425,15 @@ int main(int argc, char** argv) {
   // Journaling needs the auditor (alert transitions), which needs metrics.
   obs::set_metrics_enabled(!options.metrics_path.empty() ||
                            options.serve_port >= 0 || serve_ops ||
-                           !options.journal_path.empty());
+                           options.journal.enabled());
   obs::set_profiling_enabled(!options.profile_path.empty());
   if (obs::profiling_enabled()) obs::set_thread_name("main");
 
   std::unique_ptr<obs::OpsHub> hub;
   if (serve_ops) hub = std::make_unique<obs::OpsHub>();
+
+  std::unique_ptr<obs::IncidentManager> incidents =
+      make_incident_manager(options);
 
   std::unique_ptr<obs::ExpositionServer> server;
   if (options.serve_port >= 0 || serve_ops) {
@@ -369,6 +441,7 @@ int main(int argc, char** argv) {
     server_config.port = static_cast<std::uint16_t>(
         serve_ops ? options.serve_ops_port : options.serve_port);
     server_config.ops = hub.get();
+    server_config.incidents = incidents.get();
     server_config.stall_deadline_seconds = options.stall_deadline;
     server = std::make_unique<obs::ExpositionServer>(server_config);
     server->start();
@@ -376,7 +449,9 @@ int main(int argc, char** argv) {
 
   sim::Scenario scenario = [&] {
     if (!options.synthetic.empty()) {
-      return sim::make_synthetic_scenario(parse_synthetic(options.synthetic));
+      sim::SyntheticConfig synthetic = parse_synthetic(options.synthetic);
+      synthetic.overcommit = options.overcommit;
+      return sim::make_synthetic_scenario(synthetic);
     }
     if (options.fill) {
       return sim::fill_scenario(options.hosts, options.workloads,
@@ -437,10 +512,9 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<obs::TelemetryJournal> journal;
-  if (!options.journal_path.empty()) {
-    obs::TelemetryJournal::Options journal_options;
-    journal_options.path = options.journal_path;
-    journal_options.max_bytes = options.journal_retention;
+  if (options.journal.enabled()) {
+    obs::TelemetryJournal::Options journal_options =
+        options.journal.writer_options();
     journal_options.kind = "sim";
     journal_options.policy = options.policy;
     for (const auto& tenant : scenario.cluster.tenants()) {
@@ -459,6 +533,7 @@ int main(int argc, char** argv) {
     }
     config.ops = hub.get();
     config.journal = journal.get();
+    config.incidents = incidents.get();
     const sim::SimResult result = sim::run_simulation(scenario, config);
 
     TextTable table(sim::to_string(policy));
@@ -499,15 +574,17 @@ int main(int argc, char** argv) {
   }
   if (journal) {
     journal->finish();
-    std::cout << "wrote " << options.journal_path << " ("
+    std::cout << "wrote " << options.journal.path << " ("
               << journal->rounds_recorded() << " rounds, "
               << journal->alerts_recorded() << " alert transitions, "
+              << journal->incidents_recorded() << " incident transitions, "
               << journal->bytes_written() << " bytes";
     if (journal->segment() > 0) {
       std::cout << ", rotated " << journal->segment() << "x";
     }
     std::cout << ")\n";
   }
+  if (incidents) print_incident_summary(*incidents);
   if (!options.csv.empty()) {
     write_csv(options.csv, csv);
     std::cout << "wrote " << options.csv << "\n";

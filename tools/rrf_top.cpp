@@ -6,8 +6,10 @@
 // Follows the `/rounds` NDJSON stream on a reader thread and renders a
 // refreshing view: per-tenant share bars (S'/S with demand), a Jain and
 // max-share-drift sparkline over the last N windows, the auditor's
-// active alerts (from `/alerts`), allocation throughput, and the top
-// self-time profile sites (from `/profile`, when profiling is on).
+// active alerts (from `/alerts`), open incidents (from `/incidents`),
+// allocation throughput, and the top self-time profile sites (from
+// `/profile`, when profiling is on).  Parsing and rendering live in
+// obs/topview.{hpp,cpp} (tested directly); this file is sockets + loop.
 //
 //   --interval <s>   refresh period (default 1.0)
 //   --windows <n>    sparkline history length (default 60)
@@ -19,27 +21,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cmath>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "common/json.hpp"
-#include "obs/ops.hpp"
+#include "obs/topview.hpp"
 
 namespace {
 
 using namespace rrf;
+using obs::top::Feed;
+using obs::top::Response;
 
 [[noreturn]] void usage(int code) {
   std::cout <<
@@ -97,51 +94,6 @@ int request(int fd, const std::string& host, const std::string& target) {
   return send_all(fd, req) ? 0 : -1;
 }
 
-struct Response {
-  int status{0};
-  bool chunked{false};
-  std::string body;  ///< de-chunked
-};
-
-/// Parses the status line + headers out of `raw`; returns the index of
-/// the body start, or npos while incomplete.
-std::size_t parse_head(const std::string& raw, Response* out) {
-  const std::size_t end = raw.find("\r\n\r\n");
-  if (end == std::string::npos) return std::string::npos;
-  std::istringstream head(raw.substr(0, end));
-  std::string http;
-  head >> http >> out->status;
-  std::string line;
-  std::getline(head, line);  // rest of the status line
-  while (std::getline(head, line)) {
-    for (char& c : line) c = static_cast<char>(std::tolower(c));
-    if (line.rfind("transfer-encoding:", 0) == 0 &&
-        line.find("chunked") != std::string::npos) {
-      out->chunked = true;
-    }
-  }
-  return end + 4;
-}
-
-/// Incremental chunked-transfer decoder: consumes complete chunks from
-/// the front of `raw`, appending payload to `body`.  Returns true once
-/// the terminal 0-chunk was seen.
-bool dechunk(std::string* raw, std::string* body) {
-  for (;;) {
-    const std::size_t eol = raw->find("\r\n");
-    if (eol == std::string::npos) return false;
-    const std::size_t size =
-        static_cast<std::size_t>(std::strtoul(raw->c_str(), nullptr, 16));
-    if (raw->size() < eol + 2 + size + 2) return false;  // partial chunk
-    if (size == 0) {
-      raw->clear();
-      return true;
-    }
-    body->append(*raw, eol + 2, size);
-    raw->erase(0, eol + 2 + size + 2);
-  }
-}
-
 /// One-shot GET, reading until the peer closes.  Returns nullopt on
 /// connect/send failure.
 std::optional<Response> http_get(const std::string& host,
@@ -164,63 +116,16 @@ std::optional<Response> http_get(const std::string& host,
   }
   ::close(fd);
   Response response;
-  const std::size_t body_at = parse_head(raw, &response);
+  const std::size_t body_at = obs::top::parse_head(raw, &response);
   if (body_at == std::string::npos) return std::nullopt;
   raw.erase(0, body_at);
   if (response.chunked) {
-    dechunk(&raw, &response.body);
+    obs::top::dechunk(&raw, &response.body);
   } else {
     response.body = std::move(raw);
   }
   return response;
 }
-
-// ---------------------------------------------------------------------------
-// Shared state fed by the /rounds reader thread
-// ---------------------------------------------------------------------------
-
-struct Feed {
-  std::mutex mu;
-  std::deque<obs::RoundSummary> history;  ///< bounded to `window_limit`
-  std::size_t window_limit{60};
-  std::uint64_t rounds_seen{0};
-  std::uint64_t gap_dropped{0};
-  /// Wall arrival times of recent rounds, for the allocs/sec estimate.
-  std::deque<std::chrono::steady_clock::time_point> arrivals;
-  std::atomic<bool> disconnected{false};
-
-  void push_line(const std::string& line) {
-    json::Value value;
-    try {
-      value = json::Value::parse(line);
-    } catch (...) {
-      return;  // tolerate foreign lines
-    }
-    const json::Value* tag = value.find("t");
-    if (tag == nullptr || !tag->is_string()) return;
-    if (tag->as_string() == "gap") {
-      const json::Value* dropped = value.find("dropped");
-      std::lock_guard lock(mu);
-      if (dropped != nullptr && dropped->is_number()) {
-        gap_dropped += static_cast<std::uint64_t>(dropped->as_number());
-      }
-      return;
-    }
-    if (tag->as_string() != "round") return;
-    obs::RoundSummary summary;
-    try {
-      summary = obs::round_summary_from_json(value);
-    } catch (...) {
-      return;
-    }
-    std::lock_guard lock(mu);
-    history.push_back(std::move(summary));
-    while (history.size() > window_limit) history.pop_front();
-    ++rounds_seen;
-    arrivals.push_back(std::chrono::steady_clock::now());
-    while (arrivals.size() > 32) arrivals.pop_front();
-  }
-};
 
 /// Follows /rounds until the server closes the stream (run over) or the
 /// connection drops.
@@ -242,14 +147,14 @@ void follow_rounds(const std::string& host, const std::string& port,
     if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
     if (!head_done) {
-      const std::size_t body_at = parse_head(raw, &response);
+      const std::size_t body_at = obs::top::parse_head(raw, &response);
       if (body_at == std::string::npos) continue;
       raw.erase(0, body_at);
       head_done = true;
       if (response.status != 200) break;
     }
     if (response.chunked) {
-      dechunk(&raw, &body);
+      obs::top::dechunk(&raw, &body);
     } else {
       body += raw;
       raw.clear();
@@ -264,183 +169,8 @@ void follow_rounds(const std::string& host, const std::string& port,
   feed->disconnected.store(true);
 }
 
-// ---------------------------------------------------------------------------
-// Rendering
-// ---------------------------------------------------------------------------
-
-std::string bar(double fill, std::size_t width) {
-  const double clamped = std::clamp(fill, 0.0, 1.0);
-  const auto full = static_cast<std::size_t>(
-      std::lround(clamped * static_cast<double>(width)));
-  std::string out;
-  for (std::size_t i = 0; i < width; ++i) out += i < full ? "█" : "░";
-  return out;
-}
-
-std::string sparkline(const std::vector<double>& values, double lo,
-                      double hi) {
-  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
-  std::string out;
-  for (const double v : values) {
-    const double t = hi > lo ? std::clamp((v - lo) / (hi - lo), 0.0, 1.0)
-                             : 0.0;
-    out += kBlocks[static_cast<std::size_t>(std::lround(t * 7.0))];
-  }
-  return out;
-}
-
-std::string format_num(double value, int precision = 2) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
-  return buffer;
-}
-
-/// The `/alerts` document condensed to one or two display lines.
-std::string render_alerts(const std::string& body) {
-  json::Value doc;
-  try {
-    doc = json::Value::parse(body);
-  } catch (...) {
-    return "alerts: (unavailable)";
-  }
-  const json::Value* active = doc.find("active");
-  const json::Value* total = doc.find("total");
-  if (active == nullptr || !active->is_array()) return "alerts: (unavailable)";
-  std::string out = "alerts: " + std::to_string(active->as_array().size()) +
-                    " active";
-  if (total != nullptr && total->is_number()) {
-    out += ", " + std::to_string(
-                      static_cast<std::uint64_t>(total->as_number())) +
-           " raised total";
-  }
-  std::size_t shown = 0;
-  for (const json::Value& entry : active->as_array()) {
-    if (shown++ == 3) {
-      out += " …";
-      break;
-    }
-    const json::Value* kind = entry.find("kind");
-    const json::Value* tenant = entry.find("tenant");
-    const json::Value* value = entry.find("value");
-    out += "\n  ⚠ ";
-    out += kind != nullptr && kind->is_string() ? kind->as_string() : "?";
-    if (tenant != nullptr && tenant->is_string()) {
-      out += " tenant=" + tenant->as_string();
-    }
-    if (value != nullptr && value->is_number()) {
-      out += " value=" + format_num(value->as_number(), 3);
-    }
-  }
-  return out;
-}
-
-/// Top self-time sites from collapsed-flamegraph text ("a;b;c <us>").
-std::string render_profile(const std::string& body, std::size_t top_n) {
-  std::vector<std::pair<std::string, double>> sites;
-  std::istringstream in(body);
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t space = line.rfind(' ');
-    if (space == std::string::npos) continue;
-    const double self_us = std::strtod(line.c_str() + space + 1, nullptr);
-    std::string path = line.substr(0, space);
-    const std::size_t leaf = path.rfind(';');
-    if (leaf != std::string::npos) path.erase(0, leaf + 1);
-    sites.emplace_back(std::move(path), self_us);
-  }
-  if (sites.empty()) return {};
-  std::partial_sort(sites.begin(),
-                    sites.begin() +
-                        static_cast<std::ptrdiff_t>(
-                            std::min(top_n, sites.size())),
-                    sites.end(), [](const auto& a, const auto& b) {
-                      return a.second > b.second;
-                    });
-  std::string out = "top self-time:";
-  for (std::size_t i = 0; i < std::min(top_n, sites.size()); ++i) {
-    out += " " + sites[i].first + " " +
-           format_num(sites[i].second / 1000.0, 1) + "ms";
-    if (i + 1 < std::min(top_n, sites.size())) out += ",";
-  }
-  return out;
-}
-
-std::string render_frame(Feed& feed, const std::string& endpoint,
-                         const std::string& alerts_body,
-                         const std::string& profile_body) {
-  std::lock_guard lock(feed.mu);
-  std::ostringstream out;
-  out << "rrf_top — " << endpoint;
-  if (feed.history.empty()) {
-    out << "\n(no rounds received yet)\n";
-    return out.str();
-  }
-  const obs::RoundSummary& latest = feed.history.back();
-  out << "  window " << latest.window << "  t=" << format_num(latest.time, 0)
-      << "s  jain " << format_num(latest.jain, 3);
-
-  // Allocation throughput: round arrival rate × slots per round.
-  if (feed.arrivals.size() >= 2) {
-    const double span =
-        std::chrono::duration<double>(feed.arrivals.back() -
-                                      feed.arrivals.front())
-            .count();
-    if (span > 0.0) {
-      const double rounds_per_s =
-          static_cast<double>(feed.arrivals.size() - 1) / span;
-      out << "  allocs/s "
-          << format_num(rounds_per_s * static_cast<double>(latest.slots), 0);
-    }
-  }
-  out << "  rounds " << feed.rounds_seen;
-  if (feed.gap_dropped > 0) out << " (" << feed.gap_dropped << " dropped)";
-  out << "\n\n";
-
-  // Per-tenant share bars.  Bars are normalized to the largest ratio so
-  // an over-entitled tenant still fits the row.
-  double max_ratio = 1.0;
-  for (const obs::TenantRoundStat& t : latest.tenants) {
-    max_ratio = std::max({max_ratio, t.share, t.demand});
-  }
-  std::size_t name_width = 6;
-  for (const obs::TenantRoundStat& t : latest.tenants) {
-    name_width = std::max(name_width, t.name.size());
-  }
-  out << "tenant shares (S'/S, ▏=1.0):\n";
-  for (const obs::TenantRoundStat& t : latest.tenants) {
-    out << "  " << t.name << std::string(name_width - t.name.size(), ' ')
-        << " [" << bar(t.share / max_ratio, 24) << "] "
-        << format_num(t.share, 2) << "  demand " << format_num(t.demand, 2)
-        << "  gave " << format_num(t.contributed, 1) << "  took "
-        << format_num(t.gained, 1) << "\n";
-  }
-  out << "\n";
-
-  // Sparklines over the retained history.
-  std::vector<double> jain_series;
-  std::vector<double> drift_series;
-  jain_series.reserve(feed.history.size());
-  for (const obs::RoundSummary& round : feed.history) {
-    jain_series.push_back(round.jain);
-    double drift = 0.0;
-    for (const obs::TenantRoundStat& t : round.tenants) {
-      drift = std::max(drift, std::abs(t.share - 1.0));
-    }
-    drift_series.push_back(drift);
-  }
-  const auto [jain_lo, jain_hi] =
-      std::minmax_element(jain_series.begin(), jain_series.end());
-  const auto drift_hi =
-      std::max_element(drift_series.begin(), drift_series.end());
-  out << "jain  " << sparkline(jain_series, *jain_lo, *jain_hi) << "  ["
-      << format_num(*jain_lo, 3) << ", " << format_num(*jain_hi, 3) << "]\n";
-  out << "drift " << sparkline(drift_series, 0.0, *drift_hi) << "  [max "
-      << format_num(*drift_hi, 3) << "]\n\n";
-
-  out << render_alerts(alerts_body) << "\n";
-  const std::string profile = render_profile(profile_body, 5);
-  if (!profile.empty()) out << profile << "\n";
-  return out.str();
+std::string body_or_empty(const std::optional<Response>& response) {
+  return response && response->status == 200 ? response->body : "";
 }
 
 }  // namespace
@@ -495,9 +225,10 @@ int main(int argc, char** argv) {
     while (std::getline(body, line)) feed.push_line(line);
     const auto alerts = http_get(host, port, "/alerts");
     const auto profile = http_get(host, port, "/profile");
-    std::cout << render_frame(
-        feed, endpoint, alerts && alerts->status == 200 ? alerts->body : "",
-        profile && profile->status == 200 ? profile->body : "");
+    const auto incidents = http_get(host, port, "/incidents");
+    std::cout << obs::top::render_frame(feed, endpoint, body_or_empty(alerts),
+                                        body_or_empty(profile),
+                                        body_or_empty(incidents));
     return 0;
   }
 
@@ -505,9 +236,10 @@ int main(int argc, char** argv) {
   for (;;) {
     const auto alerts = http_get(host, port, "/alerts");
     const auto profile = http_get(host, port, "/profile");
-    const std::string frame = render_frame(
-        feed, endpoint, alerts && alerts->status == 200 ? alerts->body : "",
-        profile && profile->status == 200 ? profile->body : "");
+    const auto incidents = http_get(host, port, "/incidents");
+    const std::string frame = obs::top::render_frame(
+        feed, endpoint, body_or_empty(alerts), body_or_empty(profile),
+        body_or_empty(incidents));
     // Home + clear-to-end keeps the frame flicker-free on ANSI terminals.
     std::cout << "\x1b[H\x1b[J" << frame << std::flush;
     if (feed.disconnected.load()) {
