@@ -1,36 +1,26 @@
 #!/usr/bin/env bash
-# Static-analysis tier (docs/STATIC_ANALYSIS.md): determinism lint (always)
-# plus clang-tidy over src/ when the tool and a compilation database are
-# available.  clang-tidy is not baked into every dev container, so its
-# absence is a skip, not a failure — CI installs it and runs the full pass.
-# Run from the repository root.
+# Static-analysis tier (docs/STATIC_ANALYSIS.md), local repro of the CI
+# static-analysis job: scripts/rrf_analyze.py runs the rrf lint
+# (determinism + layering + hot-path rules, always), clang-tidy and the
+# clang -Wthread-safety probe (both skipped with a recorded reason when
+# clang is not installed — the dev container ships GCC only; CI installs
+# the clang tools and runs the full pass).  Run from the repository root.
 set -euo pipefail
 
-echo "-- determinism lint: self-test"
-python3 scripts/determinism_lint.py --self-test
+echo "-- rrf_analyze: self-test"
+python3 scripts/rrf_analyze.py --self-test
 
-echo "-- determinism lint: src/"
-python3 scripts/determinism_lint.py src
-
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "-- clang-tidy not found on PATH; skipping (CI runs it)"
-  exit 0
-fi
-
-# clang-tidy needs compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is
-# always on — see the top-level CMakeLists.txt).
+# clang-tidy and the thread-safety probe need compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always on — see the top-level
+# CMakeLists.txt); configure a build dir if none exists yet.
 build_dir="${RRF_TIDY_BUILD_DIR:-build}"
-if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+if command -v clang-tidy >/dev/null 2>&1 \
+    && [[ ! -f "$build_dir/compile_commands.json" ]]; then
   echo "-- $build_dir/compile_commands.json missing; configuring"
   cmake -B "$build_dir" -G Ninja >/dev/null
 fi
 
-echo "-- clang-tidy: src/"
-mapfile -t sources < <(find src -name '*.cpp' | sort)
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -quiet -p "$build_dir" "${sources[@]}"
-else
-  clang-tidy -quiet -p "$build_dir" "${sources[@]}"
-fi
+echo "-- rrf_analyze: full pass"
+python3 scripts/rrf_analyze.py --build-dir "$build_dir" --out ANALYSIS_rrf.json
 
 echo "lint checks passed"

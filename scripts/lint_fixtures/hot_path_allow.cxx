@@ -1,0 +1,11 @@
+// Fixture: must pass [hot-path] via inline suppression.  A one-off
+// allocation that genuinely cannot be hoisted carries its justification
+// on the line itself.
+#include <vector>
+
+double justified_allocation(int n) {
+  // rrf-hot-path: begin(fixture.allowed)
+  std::vector<double> once(static_cast<unsigned>(n));  // rrf-lint: allow(hot-path)
+  // rrf-hot-path: end(fixture.allowed)
+  return once[0];
+}

@@ -1,0 +1,35 @@
+// Fixture: must pass [hot-path].  Scratch reuse, reference bindings,
+// nested-type uses and guarded observability islands are all fine in a
+// region; allocation outside any region is out of scope.
+#include <string>
+#include <vector>
+
+namespace obs {
+bool metrics_enabled();
+bool tracing_enabled();
+}  // namespace obs
+namespace contract {
+bool armed();
+}  // namespace contract
+
+struct Scratch {
+  std::vector<double> residual;  // owned by the caller, reused per round
+};
+
+double hot_round(Scratch& scratch, int n) {
+  // rrf-hot-path: begin(fixture.clean)
+  scratch.residual.assign(static_cast<unsigned>(n), 0.0);  // reuse, fine
+  std::vector<double>& residual = scratch.residual;  // reference, fine
+  std::vector<double>::size_type count = residual.size();  // nested type
+  if (obs::metrics_enabled()) {
+    std::string cold = std::to_string(n);  // guarded island: exempt
+    count += cold.size();
+  }
+  if (contract::armed()) {
+    std::vector<double> audit(residual);  // contract island: exempt
+    count += audit.size();
+  }
+  // rrf-hot-path: end(fixture.clean)
+  std::vector<double> between_rounds(4);  // outside the region: fine
+  return static_cast<double>(count) + between_rounds[0];
+}

@@ -1,0 +1,5 @@
+// Fixture: must pass [layering] via inline suppression.  A deliberate
+// DAG exception is visible right where it happens.
+#include "obs/ops.hpp"  // rrf-lint: allow(layering)
+
+int suppressed_upward_edge() { return 1; }

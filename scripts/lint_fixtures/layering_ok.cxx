@@ -1,0 +1,14 @@
+// Fixture: must pass [layering].  Same-module and downward includes,
+// the sanctioned obs hook headers, and external/system headers are all
+// fine from src/alloc/.
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
+#include "gtest/gtest.h"  // unknown top-level directory: external, ignored
+
+int sanctioned_edges() { return 1; }

@@ -1,0 +1,7 @@
+// Fixture: must trigger [layering].  Linted as if at src/alloc/, where
+// only common/ and alloc/ (plus the obs hook headers) may be included:
+// pulling in the ops hub and a sim header are both upward edges.
+#include "obs/ops.hpp"
+#include "sim/engine.hpp"
+
+int upward_dependency() { return 1; }

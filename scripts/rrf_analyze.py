@@ -1,0 +1,433 @@
+#!/usr/bin/env python3
+"""Unified static-analysis driver: one command, one gated report.
+
+Runs every static-analysis tier this repo has and folds the results into
+a single schema-checked ANALYSIS_rrf.json (build-info stamped the same
+way BENCH_rrf.json is):
+
+  rrf-lint        scripts/rrf_lint.py — determinism, module-DAG layering
+                  and hot-path allocation rules, plus its fixture
+                  self-test.  Always runs (pure python).
+  clang-tidy      the curated .clang-tidy profile (bugprone, performance,
+                  concurrency, clang-analyzer core/cplusplus) over every
+                  src/ translation unit, via compile_commands.json.
+                  Skipped with a recorded reason when the tool or the
+                  compilation database is missing (the dev container has
+                  no clang; CI installs it).
+  thread-safety   a clang -fsyntax-only -Wthread-safety probe over every
+                  src/ translation unit, promoting the capability
+                  annotations in src/common/thread_annotations.hpp to
+                  errors.  Skipped (recorded) without clang++.
+
+Exit status: 0 clean (skips allowed), 1 findings or self-test failure,
+2 environment/config error.  When GITHUB_STEP_SUMMARY is set, a per-rule
+markdown table is appended for the CI job summary.
+
+Usage:
+  rrf_analyze.py [--out ANALYSIS_rrf.json] [--build-dir build]
+                 [--src src] [--self-test]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import rrf_lint  # noqa: E402  (sibling module, not a package)
+
+SCHEMA = "rrf-analysis"
+SCHEMA_VERSION = 1
+
+# clang-tidy / clang diagnostic lines: "path:line:col: warning: msg [check]"
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):\d+:\s*"
+    r"(?P<kind>warning|error):\s*(?P<msg>.*?)"
+    r"(?:\s*\[(?P<check>[\w.,-]+)\])?$")
+
+
+def run(cmd: list[str], **kw) -> subprocess.CompletedProcess:
+    return subprocess.run(cmd, capture_output=True, text=True, **kw)
+
+
+def build_info() -> dict:
+    """Same shape as common::build_info_json() stamps into BENCH_rrf.json;
+    an analysis run has no build type or contract mode of its own."""
+    git = "unknown"
+    try:
+        p = run(["git", "describe", "--always", "--dirty"], cwd=REPO_ROOT)
+        if p.returncode == 0:
+            git = p.stdout.strip()
+    except OSError:
+        pass
+    compiler = "unavailable"
+    for cxx in ("clang++", "g++", "c++"):
+        path = shutil.which(cxx)
+        if path:
+            p = run([path, "--version"])
+            if p.returncode == 0 and p.stdout:
+                compiler = p.stdout.splitlines()[0].strip()
+                break
+    return {"git": git, "compiler": compiler,
+            "build_type": "source-analysis", "contracts": "n/a"}
+
+
+def relativize(path: str) -> str:
+    try:
+        return pathlib.Path(path).resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path
+
+
+def parse_diagnostics(output: str, tool: str) -> list[dict]:
+    """Extracts warning/error lines from clang tool output, deduplicated
+    (headers surface once per including TU)."""
+    findings = []
+    seen = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        rel = relativize(m.group("file"))
+        rule = m.group("check") or f"{tool}-{m.group('kind')}"
+        key = (rel, m.group("line"), rule, m.group("msg"))
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append({
+            "tool": tool,
+            "rule": rule,
+            "file": rel,
+            "line": int(m.group("line")),
+            "message": m.group("msg"),
+        })
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# tiers
+# ---------------------------------------------------------------------------
+
+
+def tier_rrf_lint(src: str) -> tuple[dict, list[dict]]:
+    self_test_ok = rrf_lint.self_test() == 0
+    raw = rrf_lint.run_lint([src])
+    findings = [{"tool": "rrf-lint", **f} for f in raw]
+    status = "clean" if (self_test_ok and not findings) else "findings"
+    return ({"status": status, "findings": len(findings),
+             "self_test": "pass" if self_test_ok else "fail"}, findings)
+
+
+def compile_commands(build_dir: pathlib.Path) -> list[dict] | None:
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        return None
+    try:
+        return json.loads(db.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def src_translation_units(db: list[dict], src: str) -> list[dict]:
+    prefix = (REPO_ROOT / src).resolve().as_posix() + "/"
+    return [e for e in db
+            if pathlib.Path(e["file"]).resolve().as_posix()
+            .startswith(prefix)]
+
+
+def tier_clang_tidy(build_dir: pathlib.Path,
+                    src: str) -> tuple[dict, list[dict]]:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        return ({"status": "skipped",
+                 "reason": "clang-tidy not on PATH (CI installs it)"}, [])
+    db = compile_commands(build_dir)
+    if db is None:
+        return ({"status": "skipped",
+                 "reason": f"no {build_dir}/compile_commands.json "
+                           "(configure with CMake first)"}, [])
+    units = src_translation_units(db, src)
+    if not units:
+        return ({"status": "skipped",
+                 "reason": f"compilation database has no {src}/ units"}, [])
+    files = sorted(e["file"] for e in units)
+    runner = shutil.which("run-clang-tidy")
+    if runner is not None:
+        p = run([runner, "-quiet", "-p", str(build_dir)] + files)
+    else:
+        p = run([tidy, "-quiet", "-p", str(build_dir)] + files)
+    findings = parse_diagnostics(p.stdout + p.stderr, "clang-tidy")
+    return ({"status": "findings" if findings else "clean",
+             "findings": len(findings), "files_checked": len(files)},
+            findings)
+
+
+def strip_cc_args(args: list[str]) -> list[str]:
+    """Drops the compile/output args so the command can be replayed as a
+    syntax-only probe; keeps includes, defines, standard and warnings."""
+    out = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c", "-MD", "-MMD"):
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip_next = True
+            continue
+        if a.endswith((".cpp", ".cc", ".cxx", ".o")):
+            continue
+        out.append(a)
+    return out
+
+
+def tier_thread_safety(build_dir: pathlib.Path,
+                       src: str) -> tuple[dict, list[dict]]:
+    clang = shutil.which("clang++")
+    if clang is None:
+        return ({"status": "skipped",
+                 "reason": "clang++ not on PATH — the thread-safety "
+                           "annotations are clang-only (CI installs it)"},
+                [])
+    db = compile_commands(build_dir)
+    probe_flags = ["-fsyntax-only", "-Wthread-safety",
+                   "-Werror=thread-safety"]
+    units: list[tuple[str, list[str]]] = []
+    if db is not None:
+        for e in src_translation_units(db, src):
+            args = e.get("arguments")
+            if args is None:
+                args = e["command"].split()
+            # Replay the project's own flags minus GCC-only ones clang
+            # rejects; -Wno-unknown-warning-option absorbs the rest.
+            flags = [a for a in strip_cc_args(args)
+                     if not a.startswith("-fconcepts")]
+            units.append((e["file"],
+                          flags + ["-Wno-unknown-warning-option"]))
+    else:
+        inc = str(REPO_ROOT / src)
+        base = ["-std=c++20", "-I", inc]
+        for f in sorted((REPO_ROOT / src).rglob("*.cpp")):
+            units.append((str(f), list(base)))
+    if not units:
+        return ({"status": "skipped",
+                 "reason": f"no {src}/ translation units found"}, [])
+    findings = []
+    for path, flags in units:
+        p = run([clang] + flags + probe_flags + [path])
+        if p.returncode != 0 or p.stderr:
+            findings.extend(
+                f for f in parse_diagnostics(p.stderr, "thread-safety")
+                if "thread-safety" in f["rule"]
+                or "thread safety" in f["message"])
+    return ({"status": "findings" if findings else "clean",
+             "findings": len(findings), "files_checked": len(units)},
+            findings)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def make_report(tools: dict, findings: list[dict]) -> dict:
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f["rule"]] = by_rule.get(f["rule"], 0) + 1
+    return {
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "build": build_info(),
+        "tools": tools,
+        "findings": findings,
+        "summary": {"total": len(findings),
+                    "by_rule": dict(sorted(by_rule.items()))},
+    }
+
+
+def validate_report(doc: dict) -> list[str]:
+    """Returns schema violations (empty = valid).  Deliberately strict:
+    CI gates on this document, so a malformed one must fail loudly."""
+    errors = []
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        errors.append(f"version must be {SCHEMA_VERSION}")
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        errors.append("missing build stamp")
+    else:
+        for key in ("git", "compiler", "build_type", "contracts"):
+            if not isinstance(build.get(key), str):
+                errors.append(f"build.{key} must be a string")
+    tools = doc.get("tools")
+    if not isinstance(tools, dict):
+        errors.append("missing tools section")
+    else:
+        for name in ("rrf_lint", "clang_tidy", "thread_safety"):
+            entry = tools.get(name)
+            if not isinstance(entry, dict):
+                errors.append(f"tools.{name} missing")
+            elif entry.get("status") not in ("clean", "findings", "skipped"):
+                errors.append(f"tools.{name}.status invalid: "
+                              f"{entry.get('status')!r}")
+            elif (entry["status"] == "skipped"
+                  and not isinstance(entry.get("reason"), str)):
+                errors.append(f"tools.{name} skipped without a reason")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        errors.append("findings must be a list")
+    else:
+        for i, f in enumerate(findings):
+            for key, typ in (("tool", str), ("rule", str), ("file", str),
+                             ("line", int), ("message", str)):
+                if not isinstance(f.get(key), typ):
+                    errors.append(f"findings[{i}].{key} must be {typ.__name__}")
+                    break
+    summary = doc.get("summary")
+    if (not isinstance(summary, dict)
+            or not isinstance(summary.get("total"), int)
+            or not isinstance(summary.get("by_rule"), dict)):
+        errors.append("summary.total/by_rule malformed")
+    elif isinstance(findings, list) and summary["total"] != len(findings):
+        errors.append("summary.total disagrees with findings")
+    return errors
+
+
+def step_summary(doc: dict) -> str:
+    lines = ["## static analysis (ANALYSIS_rrf.json)", ""]
+    lines.append("| tool | status | findings |")
+    lines.append("|---|---|---|")
+    for name, entry in doc["tools"].items():
+        status = entry["status"]
+        if status == "skipped":
+            status = f"skipped ({entry['reason']})"
+        lines.append(f"| {name} | {status} | {entry.get('findings', 0)} |")
+    if doc["summary"]["by_rule"]:
+        lines += ["", "| rule | findings |", "|---|---|"]
+        for rule, count in doc["summary"]["by_rule"].items():
+            lines.append(f"| `{rule}` | {count} |")
+        lines += ["", "<details><summary>findings</summary>", ""]
+        for f in doc["findings"][:100]:
+            lines.append(f"- `{f['file']}:{f['line']}` [{f['rule']}] "
+                         f"{f['message']}")
+        if len(doc["findings"]) > 100:
+            lines.append(f"- ... and {len(doc['findings']) - 100} more")
+        lines += ["", "</details>"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def self_test() -> int:
+    """Validates the linter fixtures and this driver's schema checker
+    (a good document passes; broken ones are each rejected)."""
+    failures = 0
+    if rrf_lint.self_test() != 0:
+        failures += 1
+
+    good = make_report(
+        {"rrf_lint": {"status": "clean", "findings": 0, "self_test": "pass"},
+         "clang_tidy": {"status": "skipped", "reason": "self-test"},
+         "thread_safety": {"status": "findings", "findings": 1,
+                           "files_checked": 3}},
+        [{"tool": "thread-safety", "rule": "-Wthread-safety-analysis",
+          "file": "src/x.cpp", "line": 3, "message": "unguarded read"}])
+    errs = validate_report(good)
+    if errs:
+        print("self-test FAIL: valid report rejected:", errs)
+        failures += 1
+
+    for mutate, label in [
+            (lambda d: d.pop("build"), "missing build"),
+            (lambda d: d["tools"]["rrf_lint"].update(status="???"),
+             "bad tool status"),
+            (lambda d: d["tools"]["clang_tidy"].pop("reason"),
+             "skip without reason"),
+            (lambda d: d["summary"].update(total=99),
+             "summary drift"),
+            (lambda d: d["findings"][0].pop("line"),
+             "finding missing line")]:
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        if not validate_report(doc):
+            print(f"self-test FAIL: schema checker accepted: {label}")
+            failures += 1
+
+    print(f"analyze self-test: {'FAIL' if failures else 'OK'}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="unified static-analysis driver (see module docstring)")
+    parser.add_argument("--out", default="ANALYSIS_rrf.json",
+                        help="report path (default: ANALYSIS_rrf.json)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--src", default="src",
+                        help="source tree to analyze (default: src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate fixtures and the report schema")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    build_dir = pathlib.Path(args.build_dir)
+    tools: dict = {}
+    findings: list[dict] = []
+
+    print("== rrf-lint (determinism + layering + hot-path)")
+    tools["rrf_lint"], lint_findings = tier_rrf_lint(args.src)
+    findings += lint_findings
+
+    print("== clang-tidy")
+    tools["clang_tidy"], tidy_findings = tier_clang_tidy(build_dir, args.src)
+    if tools["clang_tidy"]["status"] == "skipped":
+        print(f"   skipped: {tools['clang_tidy']['reason']}")
+    findings += tidy_findings
+
+    print("== clang -Wthread-safety probe")
+    tools["thread_safety"], ts_findings = tier_thread_safety(
+        build_dir, args.src)
+    if tools["thread_safety"]["status"] == "skipped":
+        print(f"   skipped: {tools['thread_safety']['reason']}")
+    findings += ts_findings
+
+    doc = make_report(tools, findings)
+    errors = validate_report(doc)
+    if errors:
+        for e in errors:
+            sys.stderr.write(f"rrf_analyze: schema violation: {e}\n")
+        return 2
+    pathlib.Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"report: {args.out}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(step_summary(doc))
+
+    for f in findings:
+        print(f"{f['file']}:{f['line']}: [{f['tool']}/{f['rule']}] "
+              f"{f['message']}")
+    lint_selftest_ok = tools["rrf_lint"]["self_test"] == "pass"
+    if findings or not lint_selftest_ok:
+        print(f"rrf_analyze: {len(findings)} finding(s)"
+              + ("" if lint_selftest_ok else " + lint self-test FAILED"))
+        return 1
+    print("rrf_analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "alloc/contract_checks.hpp"
@@ -175,10 +176,16 @@ AllocationResult IrtAllocator::allocate_traced(
 
   // Per-type scratch, reused across the k loop (order is re-filled by
   // iota + stable_sort each iteration; the cumulative tables are
-  // reassigned by the BoundarySearch constructor).
+  // reassigned by the BoundarySearch constructor).  The suffix
+  // water-fill scratch (caps/weights/extras over at most m entities and
+  // the weighted_max_min_into ordering) is hoisted here too so the loop
+  // body stays heap-allocation-free.
   std::vector<std::size_t> order(m);
   BoundarySearch::Scratch search_scratch;
+  std::vector<double> cap_scratch(m), weight_scratch(m), extra_scratch(m);
+  std::vector<std::size_t> wmm_order;
 
+  // rrf-hot-path: begin(irt.types)
   for (std::size_t k = 0; k < p; ++k) {
     // ---- ordering: contributors by ascending U, then beneficiaries by
     // ascending V (lines 9-14). ----
@@ -280,7 +287,9 @@ AllocationResult IrtAllocator::allocate_traced(
         // unmet need and the remaining trade budget.  Unplaceable surplus
         // idles (spreading it would reopen the free-gain loophole).
         const std::size_t rest = m - v;
-        std::vector<double> caps(rest), weights(rest);
+        const std::span<double> caps(cap_scratch.data(), rest);
+        const std::span<double> weights(weight_scratch.data(), rest);
+        const std::span<double> extras(extra_scratch.data(), rest);
         for (std::size_t t = 0; t < rest; ++t) {
           const std::size_t i = order[v + t];
           const double need = std::max(
@@ -288,8 +297,7 @@ AllocationResult IrtAllocator::allocate_traced(
           caps[t] = std::min(need, budget[i]);
           weights[t] = lambda[i];
         }
-        const std::vector<double> extras =
-            weighted_max_min(psi, caps, weights);
+        weighted_max_min_into(psi, caps, weights, extras, wmm_order);
         for (std::size_t t = 0; t < rest; ++t) {
           const std::size_t i = order[v + t];
           result.allocations[i][k] = entities[i].initial_share[k] + extras[t];
@@ -332,17 +340,19 @@ AllocationResult IrtAllocator::allocate_traced(
         // fallback water-fills it by share, capped at each entity's
         // remaining need (keeping the fallback Pareto-efficient).
         const std::size_t rest = m - v;
-        std::vector<double> extras(rest, 0.0);
+        const std::span<double> extras(extra_scratch.data(), rest);
+        std::fill(extras.begin(), extras.end(), 0.0);
         if (options_.fallback ==
             IrtOptions::SurplusFallback::kProportionalToShare) {
-          std::vector<double> needs(rest), weights(rest);
+          const std::span<double> needs(cap_scratch.data(), rest);
+          const std::span<double> weights(weight_scratch.data(), rest);
           for (std::size_t t = 0; t < rest; ++t) {
             const std::size_t i = order[v + t];
             needs[t] = std::max(
                 0.0, entities[i].demand[k] - entities[i].initial_share[k]);
             weights[t] = entities[i].initial_share[k];
           }
-          extras = weighted_max_min(psi, needs, weights);
+          weighted_max_min_into(psi, needs, weights, extras, wmm_order);
         }
         for (std::size_t t = 0; t < rest; ++t) {
           const std::size_t i = order[v + t];
@@ -433,6 +443,7 @@ AllocationResult IrtAllocator::allocate_traced(
       }
     }
   }
+  // rrf-hot-path: end(irt.types)
 
   if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
     sink->has_irt = true;

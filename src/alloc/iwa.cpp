@@ -25,6 +25,7 @@ double iwa_distribute_into(double tenant_total,
               "output span length mismatch");
   RRF_REQUIRE(tenant_total >= 0.0, "negative tenant grant");
   const std::size_t n = initial_shares.size();
+  // rrf-hot-path: begin(iwa.distribute)
 
   // Line 1: Phi starts as the difference between the tenant-level grant and
   // the sum of the VMs' initial shares (IRT may have grown or shrunk it).
@@ -110,6 +111,7 @@ double iwa_distribute_into(double tenant_total,
       }
     }
   }
+  // rrf-hot-path: end(iwa.distribute)
   return headroom;
 }
 
@@ -141,6 +143,7 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
   }
 
   std::vector<double> shares(n), demands(n), grants(n);
+  // rrf-hot-path: begin(iwa.types)
   for (std::size_t k = 0; k < p; ++k) {
     for (std::size_t j = 0; j < n; ++j) {
       RRF_REQUIRE(vms[j].initial_share.size() == p &&
@@ -181,6 +184,7 @@ IwaVectorResult iwa_distribute(const ResourceVector& tenant_total,
       }
     }
   }
+  // rrf-hot-path: end(iwa.types)
 
   if (obs::ProvenanceRound* sink = obs::provenance_sink()) {
     // One entry per call; the caller (hierarchical RRF) invokes this in

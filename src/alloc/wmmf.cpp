@@ -14,22 +14,34 @@ namespace rrf::alloc {
 std::vector<double> weighted_max_min(double capacity,
                                      std::span<const double> demands,
                                      std::span<const double> weights) {
+  std::vector<double> alloc(demands.size());
+  std::vector<std::size_t> order;
+  weighted_max_min_into(capacity, demands, weights, alloc, order);
+  return alloc;
+}
+
+void weighted_max_min_into(double capacity, std::span<const double> demands,
+                           std::span<const double> weights,
+                           std::span<double> out,
+                           std::vector<std::size_t>& order_scratch) {
   RRF_REQUIRE(demands.size() == weights.size(),
               "demand/weight length mismatch");
+  RRF_REQUIRE(out.size() == demands.size(), "output length mismatch");
   RRF_REQUIRE(capacity >= 0.0, "negative capacity");
   const std::size_t n = demands.size();
-  std::vector<double> alloc(n, 0.0);
+  std::fill(out.begin(), out.end(), 0.0);
 
   const double total_demand =
       std::accumulate(demands.begin(), demands.end(), 0.0);
   if (total_demand <= capacity) {
     // Abundant capacity: everyone is capped at demand (principle 2).
-    std::copy(demands.begin(), demands.end(), alloc.begin());
-    return alloc;
+    std::copy(demands.begin(), demands.end(), out.begin());
+    return;
   }
 
   // Contended: water-fill over the weighted users in increasing d/w order.
-  std::vector<std::size_t> order;
+  std::vector<std::size_t>& order = order_scratch;
+  order.clear();
   order.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (weights[i] > 0.0) order.push_back(i);
@@ -46,7 +58,7 @@ std::vector<double> weighted_max_min(double capacity,
     const std::size_t i = order[idx];
     // Would giving every remaining user the level d_i/w_i fit?
     if (demands[i] * active_weight <= remaining * weights[i]) {
-      alloc[i] = demands[i];  // satisfied, surplus flows on
+      out[i] = demands[i];  // satisfied, surplus flows on
       remaining -= demands[i];
       active_weight -= weights[i];
     } else {
@@ -54,12 +66,11 @@ std::vector<double> weighted_max_min(double capacity,
       const double level = remaining / active_weight;
       for (std::size_t j = idx; j < order.size(); ++j) {
         const std::size_t u = order[j];
-        alloc[u] = std::min(demands[u], level * weights[u]);
+        out[u] = std::min(demands[u], level * weights[u]);
       }
-      return alloc;
+      return;
     }
   }
-  return alloc;
 }
 
 AllocationResult WmmfAllocator::allocate(

@@ -24,6 +24,16 @@ std::vector<double> weighted_max_min(double capacity,
                                      std::span<const double> demands,
                                      std::span<const double> weights);
 
+/// Allocation-free variant for per-round hot paths: writes the result
+/// into `out` (out.size() == demands.size(), fully overwritten) and
+/// reuses `order_scratch` for the d/w ordering (cleared here; its heap
+/// block survives across calls).  Bit-identical to weighted_max_min —
+/// same arithmetic, same visit order.
+void weighted_max_min_into(double capacity, std::span<const double> demands,
+                           std::span<const double> weights,
+                           std::span<double> out,
+                           std::vector<std::size_t>& order_scratch);
+
 class WmmfAllocator final : public Allocator {
  public:
   std::string name() const override { return "wmmf"; }

@@ -6,6 +6,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/instrumented_mutex.hpp"
+
 namespace rrf::contract {
 
 namespace {
@@ -28,9 +30,11 @@ std::atomic<Handler>& handler_cell() {
 }
 
 struct Tally {
-  std::mutex mu;
-  std::map<std::string, std::uint64_t> per_site;
-  std::uint64_t total{0};
+  // Hook-free on purpose: violations may be reported from inside code
+  // the profiler's contention hook itself observes.
+  AnnotatedMutex mu;
+  std::map<std::string, std::uint64_t> per_site GUARDED_BY(mu);
+  std::uint64_t total GUARDED_BY(mu){0};
 };
 
 Tally& tally() {
@@ -50,19 +54,19 @@ void set_violation_handler(Handler handler) {
 
 std::vector<std::pair<std::string, std::uint64_t>> violation_counts() {
   Tally& t = tally();
-  std::lock_guard lock(t.mu);
+  MutexLock lock(t.mu);
   return {t.per_site.begin(), t.per_site.end()};
 }
 
 std::uint64_t total_violations() {
   Tally& t = tally();
-  std::lock_guard lock(t.mu);
+  MutexLock lock(t.mu);
   return t.total;
 }
 
 void reset_violations() {
   Tally& t = tally();
-  std::lock_guard lock(t.mu);
+  MutexLock lock(t.mu);
   t.per_site.clear();
   t.total = 0;
 }
@@ -71,7 +75,7 @@ void report(const char* kind, const char* site, const char* expr,
             std::string message, std::source_location loc) {
   {
     Tally& t = tally();
-    std::lock_guard lock(t.mu);
+    MutexLock lock(t.mu);
     ++t.per_site[site];
     ++t.total;
   }

@@ -1,4 +1,4 @@
-// Contention-counting mutex wrapper.
+// Contention-counting mutex wrapper and the annotated lock vocabulary.
 //
 // InstrumentedMutex behaves exactly like std::mutex until a contention
 // hook is installed (the profiler does this when profiling turns on).
@@ -8,12 +8,29 @@
 // (site, blocked_ns) to the hook.  The common layer only knows the hook
 // signature — the profiler in src/obs/ owns the aggregation — so
 // rrf_common keeps its no-upward-dependency layering.
+//
+// Every mutex here is a Clang thread-safety CAPABILITY and every guard
+// a SCOPED_CAPABILITY, so members declared GUARDED_BY(mu_) are checked
+// at compile time under -Wthread-safety.  libstdc++'s std::lock_guard /
+// std::unique_lock carry no such annotations, which is why the repo
+// locks annotated mutexes through MutexLock below instead.
+//
+//  * InstrumentedMutex — the default: contention telemetry + capability.
+//  * AnnotatedMutex — capability only, no hook.  Required wherever the
+//    contention hook itself could re-enter (the profiler's own state:
+//    hook fires -> profiler locks its map -> the map's mutex must not
+//    call the hook back), and fine for other hook-free internals.
+//  * SharedMutex — annotated std::shared_mutex for read-mostly state
+//    (the metrics registry), with Read/Write scoped guards.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace rrf {
 
@@ -31,16 +48,16 @@ inline void set_mutex_contention_hook(MutexContentionHook hook) {
 }
 
 /// BasicLockable + Lockable: drop-in for std::mutex with
-/// std::lock_guard / std::unique_lock / std::condition_variable_any.
+/// MutexLock / std::condition_variable_any.
 /// `site` must have static storage duration (string literal).
-class InstrumentedMutex {
+class CAPABILITY("mutex") InstrumentedMutex {
  public:
   explicit InstrumentedMutex(const char* site) : site_(site) {}
 
   InstrumentedMutex(const InstrumentedMutex&) = delete;
   InstrumentedMutex& operator=(const InstrumentedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     const MutexContentionHook hook =
         detail::g_mutex_contention_hook.load(std::memory_order_relaxed);
     if (hook == nullptr) {
@@ -57,13 +74,123 @@ class InstrumentedMutex {
     hook(site_, static_cast<std::uint64_t>(blocked_ns));
   }
 
-  bool try_lock() { return mu_.try_lock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
-  void unlock() { mu_.unlock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  /// Tells the analysis the capability is held without acquiring it.
+  /// For code the analysis cannot see through — condition-variable wait
+  /// predicates run with the lock held, but from a lambda whose capture
+  /// hides that fact.  Each call site is a documented boundary.
+  void assert_held() const ASSERT_CAPABILITY(this) {}
 
  private:
   std::mutex mu_;
   const char* site_;
+};
+
+/// Annotated plain mutex: the capability without the contention hook.
+/// Use for state the hook itself may touch (profiler internals) or
+/// where telemetry would be noise (one-shot registries).
+class CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+  /// See InstrumentedMutex::assert_held().
+  void assert_held() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped guard for the annotated mutexes, replacing std::lock_guard /
+/// std::unique_lock at their lock sites (the standard guards carry no
+/// capability annotations, so the analysis cannot follow them).
+/// Relockable like std::unique_lock — lock()/unlock() make it usable
+/// as the Lockable argument of std::condition_variable_any::wait.
+template <typename Mutex>
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable for std::condition_variable_any::wait(*this, ...).
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Annotated std::shared_mutex for read-mostly registries.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Exclusive scoped guard for SharedMutex (std::unique_lock stand-in).
+class SCOPED_CAPABILITY SharedMutexWriteLock {
+ public:
+  explicit SharedMutexWriteLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedMutexWriteLock() RELEASE() { mu_.unlock(); }
+
+  SharedMutexWriteLock(const SharedMutexWriteLock&) = delete;
+  SharedMutexWriteLock& operator=(const SharedMutexWriteLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared scoped guard for SharedMutex (std::shared_lock stand-in).
+class SCOPED_CAPABILITY SharedMutexReadLock {
+ public:
+  explicit SharedMutexReadLock(SharedMutex& mu) ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexReadLock() RELEASE() { mu_.unlock_shared(); }
+
+  SharedMutexReadLock(const SharedMutexReadLock&) = delete;
+  SharedMutexReadLock& operator=(const SharedMutexReadLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace rrf

@@ -8,13 +8,15 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/instrumented_mutex.hpp"
+
 namespace rrf {
 
 namespace {
 
 std::atomic<LogLevel> g_level{log_level_from_env()};
-std::mutex g_mu;
-std::ostream* g_sink = nullptr;  // nullptr = std::cerr
+InstrumentedMutex g_mu{"log.stream"};
+std::ostream* g_sink GUARDED_BY(g_mu) = nullptr;  // nullptr = std::cerr
 const auto g_epoch = std::chrono::steady_clock::now();
 
 const char* level_name(LogLevel level) {
@@ -55,7 +57,7 @@ LogLevel log_level_from_env() {
 }
 
 void set_log_sink(std::ostream* sink) {
-  std::lock_guard lock(g_mu);
+  MutexLock lock(g_mu);
   g_sink = sink;
 }
 
@@ -66,7 +68,7 @@ void log_message(LogLevel level, const std::string& message) {
           .count();
   char stamp[32];
   std::snprintf(stamp, sizeof(stamp), "+%.3fs", seconds);
-  std::lock_guard lock(g_mu);
+  MutexLock lock(g_mu);
   std::ostream& os = g_sink ? *g_sink : std::cerr;
   os << "[rrf " << level_name(level) << " " << stamp << "] " << message
      << "\n";

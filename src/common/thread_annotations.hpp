@@ -1,0 +1,77 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the capability attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so annotated
+// types compile everywhere: under Clang the attributes feed
+// -Wthread-safety (the CI static-analysis job builds src/ with
+// -Wthread-safety -Werror); under GCC and MSVC they expand to nothing.
+//
+// Conventions (docs/STATIC_ANALYSIS.md has the full guide):
+//  * data members touched by more than one thread carry GUARDED_BY(mu_);
+//  * private helpers called only under the lock carry REQUIRES(mu_);
+//  * lambdas that the analysis cannot see through (condition_variable
+//    predicates) call mu_.assert_held() — a documented ASSERT_CAPABILITY
+//    boundary — instead of disabling the analysis;
+//  * NO_THREAD_SAFETY_ANALYSIS is reserved for functions that manage
+//    lock lifetimes in ways the analysis cannot model, never as a
+//    blanket escape for ordinary guarded access.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RRF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RRF_THREAD_ANNOTATION_(x)
+#endif
+
+#define CAPABILITY(x) RRF_THREAD_ANNOTATION_(capability(x))
+
+#define SCOPED_CAPABILITY RRF_THREAD_ANNOTATION_(scoped_lockable)
+
+#define GUARDED_BY(x) RRF_THREAD_ANNOTATION_(guarded_by(x))
+
+#define PT_GUARDED_BY(x) RRF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  RRF_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  RRF_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  RRF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  RRF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  RRF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  RRF_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  RRF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  RRF_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  RRF_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  RRF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  RRF_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) RRF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) RRF_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  RRF_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) RRF_THREAD_ANNOTATION_(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RRF_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -64,8 +64,14 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     QueuedTask task;
     std::size_t depth_after = 0;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      // The wait predicate runs with mu_ held, but from a lambda the
+      // thread-safety analysis cannot see through; assert_held() is the
+      // documented boundary (docs/STATIC_ANALYSIS.md).
+      cv_.wait(lock, [this] {
+        mu_.assert_held();
+        return stopping_ || !tasks_.empty();
+      });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -161,7 +167,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t helpers = std::min(thread_count(), ctx->chunks);
   ThreadPoolObserver* const observer = thread_pool_observer();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     RRF_REQUIRE(!stopping_, "parallel_for on a stopped pool");
     // One helper task per worker is enough: each steals chunks in a loop.
     for (std::size_t t = 0; t < helpers; ++t) {

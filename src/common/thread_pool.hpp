@@ -90,10 +90,10 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<QueuedTask> tasks_;
   InstrumentedMutex mu_{"thread_pool.queue"};
+  std::queue<QueuedTask> tasks_ GUARDED_BY(mu_);
   std::condition_variable_any cv_;
-  bool stopping_{false};
+  bool stopping_ GUARDED_BY(mu_){false};
 };
 
 /// Process-wide pool for library internals (lazily constructed).

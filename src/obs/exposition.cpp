@@ -421,8 +421,13 @@ void ExpositionServer::stop() {
     listen_fd_ = -1;
   }
   // Handlers poll stop_requested_ in bounded waits; let them all drain.
-  std::unique_lock lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return open_conns_ == 0; });
+  MutexLock lock(conn_mu_);
+  // Predicate runs under conn_mu_ from a lambda the analysis cannot see
+  // through; assert_held() marks the boundary.
+  conn_cv_.wait(lock, [this] {
+    conn_mu_.assert_held();
+    return open_conns_ == 0;
+  });
 }
 
 std::string ExpositionServer::respond(const std::string& method,
@@ -587,8 +592,11 @@ void ExpositionServer::handle_client(int fd) {
   } else {
     send_all(fd, respond(req.method, req.target));
   }
-  ::close(fd);
+  // Count before closing: the close is what a synchronous client observes
+  // (EOF ends its read), so incrementing afterwards would let the client
+  // read a stale total.
   requests_.fetch_add(1, std::memory_order_relaxed);
+  ::close(fd);
 }
 
 void ExpositionServer::serve_loop() {
@@ -604,12 +612,12 @@ void ExpositionServer::serve_loop() {
     // One short-lived thread per connection: a following /rounds
     // subscriber or a slow scrape must not block other clients.
     {
-      std::lock_guard lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       ++open_conns_;
     }
     std::thread([this, client] {
       handle_client(client);
-      std::lock_guard lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       --open_conns_;
       conn_cv_.notify_all();
     }).detach();

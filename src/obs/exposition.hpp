@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace rrf::obs {
@@ -155,9 +156,9 @@ class ExpositionServer {
   std::atomic<std::uint64_t> requests_{0};
   std::chrono::steady_clock::time_point start_time_{};
   // Handler threads are detached; stop() waits for this count to drain.
-  mutable std::mutex conn_mu_;
-  mutable std::condition_variable conn_cv_;
-  std::size_t open_conns_{0};
+  mutable InstrumentedMutex conn_mu_{"exposition.conns"};
+  mutable std::condition_variable_any conn_cv_;
+  std::size_t open_conns_ GUARDED_BY(conn_mu_){0};
 };
 
 }  // namespace rrf::obs

@@ -69,7 +69,7 @@ IncidentManager::IncidentManager(IncidentConfig config)
 }
 
 void IncidentManager::set_metadata(std::string key, std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [k, v] : metadata_) {
     if (k == key) {
       v = std::move(value);
@@ -81,13 +81,13 @@ void IncidentManager::set_metadata(std::string key, std::string value) {
 
 void IncidentManager::set_alerts_provider(
     std::function<std::string()> provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   alerts_provider_ = std::move(provider);
 }
 
 void IncidentManager::set_extra_provider(
     std::string filename, std::function<std::string()> provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, fn] : extras_) {
     if (name == filename) {
       fn = std::move(provider);
@@ -98,7 +98,7 @@ void IncidentManager::set_extra_provider(
 }
 
 void IncidentManager::clear_providers() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   alerts_provider_ = nullptr;
   extras_.clear();
 }
@@ -166,7 +166,7 @@ IncidentSeverity IncidentManager::severity_of(const Incident& incident) const {
 }
 
 void IncidentManager::observe_round(const RoundSummary& summary) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   round_ring_.push_back(summary);
   while (round_ring_.size() > config_.ring_capacity) round_ring_.pop_front();
   record_evidence(summary);
@@ -240,7 +240,7 @@ void IncidentManager::observe_round(const RoundSummary& summary) {
 }
 
 void IncidentManager::finalize() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!incidents_.empty() && incidents_.back().open) {
     rewrite_manifest(incidents_.back());
   }
@@ -376,7 +376,7 @@ void IncidentManager::rewrite_manifest(const Incident& incident) const {
 }
 
 std::string IncidentManager::incidents_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json::Array list;
   std::size_t open = 0;
   for (const Incident& incident : incidents_) {
@@ -407,7 +407,7 @@ std::string IncidentManager::incidents_json() const {
 
 std::optional<std::string> IncidentManager::incident_json(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Incident& incident : incidents_) {
     if (incident.id == id) return incident_to_json(incident).dump();
   }
@@ -416,7 +416,7 @@ std::optional<std::string> IncidentManager::incident_json(
 
 std::vector<IncidentEvent> IncidentManager::events_since(
     std::size_t* cursor) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<IncidentEvent> out;
   for (std::size_t i = *cursor; i < events_.size(); ++i) {
     out.push_back(events_[i]);
@@ -426,12 +426,12 @@ std::vector<IncidentEvent> IncidentManager::events_since(
 }
 
 std::size_t IncidentManager::opened_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return incidents_.size();
 }
 
 std::size_t IncidentManager::open_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t open = 0;
   for (const Incident& incident : incidents_) {
     if (incident.open) ++open;
@@ -440,7 +440,7 @@ std::size_t IncidentManager::open_count() const {
 }
 
 std::vector<Incident> IncidentManager::incidents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return incidents_;
 }
 

@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "common/json.hpp"
 #include "obs/detect.hpp"
 
@@ -168,33 +169,37 @@ class IncidentManager {
     std::deque<double> gained;
   };
 
-  void record_evidence(const RoundSummary& summary);
+  // Helpers below run with mu_ held by their public callers; REQUIRES
+  // lets the analysis check both sides of that contract.
+  void record_evidence(const RoundSummary& summary) REQUIRES(mu_);
   void ingest_detections(Incident& incident,
                          const std::vector<Detection>& detections);
   IncidentSeverity severity_of(const Incident& incident) const;
-  json::Value incident_to_json(const Incident& incident) const;
-  json::Value evidence_json() const;
-  void write_bundle(Incident& incident);
-  void rewrite_manifest(const Incident& incident) const;
+  json::Value incident_to_json(const Incident& incident) const
+      REQUIRES(mu_);
+  json::Value evidence_json() const REQUIRES(mu_);
+  void write_bundle(Incident& incident) REQUIRES(mu_);
+  void rewrite_manifest(const Incident& incident) const REQUIRES(mu_);
 
   IncidentConfig config_;
-  mutable std::mutex mu_;
-  DetectorBank bank_;
+  mutable InstrumentedMutex mu_{"incident.manager"};
+  DetectorBank bank_ GUARDED_BY(mu_);
   /// Recent rounds kept as plain structs; serialization to JSON is
   /// deferred to bundle-write time so the per-round steady-state cost is
   /// a struct copy, not a JSON dump (the <2% overhead budget).
-  std::deque<RoundSummary> round_ring_;
-  std::vector<std::string> tenant_names_;
-  std::vector<EvidenceSeries> evidence_;
-  std::vector<Incident> incidents_;
-  std::vector<IncidentEvent> events_;
-  std::size_t pending_streak_{0};
-  std::size_t pending_first_window_{0};
-  std::vector<Detection> pending_detections_;
-  std::size_t quiet_rounds_{0};
-  std::vector<std::pair<std::string, std::string>> metadata_;
-  std::function<std::string()> alerts_provider_;
-  std::vector<std::pair<std::string, std::function<std::string()>>> extras_;
+  std::deque<RoundSummary> round_ring_ GUARDED_BY(mu_);
+  std::vector<std::string> tenant_names_ GUARDED_BY(mu_);
+  std::vector<EvidenceSeries> evidence_ GUARDED_BY(mu_);
+  std::vector<Incident> incidents_ GUARDED_BY(mu_);
+  std::vector<IncidentEvent> events_ GUARDED_BY(mu_);
+  std::size_t pending_streak_ GUARDED_BY(mu_){0};
+  std::size_t pending_first_window_ GUARDED_BY(mu_){0};
+  std::vector<Detection> pending_detections_ GUARDED_BY(mu_);
+  std::size_t quiet_rounds_ GUARDED_BY(mu_){0};
+  std::vector<std::pair<std::string, std::string>> metadata_ GUARDED_BY(mu_);
+  std::function<std::string()> alerts_provider_ GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::function<std::string()>>> extras_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace rrf::obs

@@ -345,6 +345,7 @@ TelemetryJournal::TelemetryJournal(Options options)
   // A `.1` segment left behind by a previous run must not merge into
   // this run's history.
   std::remove(rotated_path(options_.path).c_str());
+  MutexLock lock(mu_);
   open_segment();
 }
 
@@ -390,6 +391,7 @@ void TelemetryJournal::maybe_rotate() {
 }
 
 void TelemetryJournal::record_round(const RoundSummary& summary) {
+  MutexLock lock(mu_);
   if (finished_) fail("record_round after finish");
   maybe_rotate();
   write_line(round_summary_to_json(summary).dump());
@@ -397,6 +399,7 @@ void TelemetryJournal::record_round(const RoundSummary& summary) {
 }
 
 void TelemetryJournal::record_alert(const JournalAlert& alert) {
+  MutexLock lock(mu_);
   if (finished_) fail("record_alert after finish");
   maybe_rotate();
   write_line(journal_alert_to_json(alert).dump());
@@ -404,6 +407,7 @@ void TelemetryJournal::record_alert(const JournalAlert& alert) {
 }
 
 void TelemetryJournal::record_incident(const JournalIncident& incident) {
+  MutexLock lock(mu_);
   if (finished_) fail("record_incident after finish");
   maybe_rotate();
   write_line(journal_incident_to_json(incident).dump());
@@ -411,6 +415,11 @@ void TelemetryJournal::record_incident(const JournalIncident& incident) {
 }
 
 void TelemetryJournal::finish() {
+  MutexLock lock(mu_);
+  finish_locked();
+}
+
+void TelemetryJournal::finish_locked() {
   if (finished_) return;
   finished_ = true;
   json::Object end;
@@ -420,6 +429,31 @@ void TelemetryJournal::finish() {
   end.emplace_back("incidents", incidents_);
   write_line(json::Value(std::move(end)).dump());
   out_.close();
+}
+
+std::size_t TelemetryJournal::rounds_recorded() const {
+  MutexLock lock(mu_);
+  return rounds_;
+}
+
+std::size_t TelemetryJournal::alerts_recorded() const {
+  MutexLock lock(mu_);
+  return alerts_;
+}
+
+std::size_t TelemetryJournal::incidents_recorded() const {
+  MutexLock lock(mu_);
+  return incidents_;
+}
+
+std::size_t TelemetryJournal::segment() const {
+  MutexLock lock(mu_);
+  return segment_;
+}
+
+std::uint64_t TelemetryJournal::bytes_written() const {
+  MutexLock lock(mu_);
+  return bytes_written_;
 }
 
 }  // namespace rrf::obs

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "common/json.hpp"
 #include "obs/ops.hpp"
 
@@ -136,8 +137,11 @@ class TelemetryJournal {
   TelemetryJournal(const TelemetryJournal&) = delete;
   TelemetryJournal& operator=(const TelemetryJournal&) = delete;
 
-  /// Appends one record and flushes it to the OS.  Single-producer:
-  /// call from one thread at a time (the engine thread).
+  /// Appends one record and flushes it to the OS.  The engine thread is
+  /// the only steady-state producer, but the writer is mutex-guarded so
+  /// a shutdown path finishing from another thread is safe — and the
+  /// "journal.writer" site shows up in the mutex contention metrics if
+  /// anything ever does contend.
   void record_round(const RoundSummary& summary);
   void record_alert(const JournalAlert& alert);
   void record_incident(const JournalIncident& incident);
@@ -146,26 +150,28 @@ class TelemetryJournal {
   /// the destructor if the caller forgot.
   void finish();
 
-  std::size_t rounds_recorded() const { return rounds_; }
-  std::size_t alerts_recorded() const { return alerts_; }
-  std::size_t incidents_recorded() const { return incidents_; }
-  std::size_t segment() const { return segment_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::size_t rounds_recorded() const;
+  std::size_t alerts_recorded() const;
+  std::size_t incidents_recorded() const;
+  std::size_t segment() const;
+  std::uint64_t bytes_written() const;
 
  private:
-  void write_line(const std::string& line);
-  void open_segment();
-  void maybe_rotate();
+  void write_line(const std::string& line) REQUIRES(mu_);
+  void open_segment() REQUIRES(mu_);
+  void maybe_rotate() REQUIRES(mu_);
+  void finish_locked() REQUIRES(mu_);
 
   Options options_;
-  std::ofstream out_;
-  std::size_t segment_{0};
-  std::uint64_t segment_bytes_{0};
-  std::uint64_t bytes_written_{0};
-  std::size_t rounds_{0};
-  std::size_t alerts_{0};
-  std::size_t incidents_{0};
-  bool finished_{false};
+  mutable InstrumentedMutex mu_{"journal.writer"};
+  std::ofstream out_ GUARDED_BY(mu_);
+  std::size_t segment_ GUARDED_BY(mu_){0};
+  std::uint64_t segment_bytes_ GUARDED_BY(mu_){0};
+  std::uint64_t bytes_written_ GUARDED_BY(mu_){0};
+  std::size_t rounds_ GUARDED_BY(mu_){0};
+  std::size_t alerts_ GUARDED_BY(mu_){0};
+  std::size_t incidents_ GUARDED_BY(mu_){0};
+  bool finished_ GUARDED_BY(mu_){false};
 };
 
 }  // namespace rrf::obs

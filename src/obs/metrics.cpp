@@ -123,12 +123,12 @@ void Histogram::reset() {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   {
-    std::shared_lock lock(mu_);
+    SharedMutexReadLock lock(mu_);
     if (const auto it = counters_.find(name); it != counters_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  SharedMutexWriteLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -136,12 +136,12 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   {
-    std::shared_lock lock(mu_);
+    SharedMutexReadLock lock(mu_);
     if (const auto it = gauges_.find(name); it != gauges_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  SharedMutexWriteLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -150,45 +150,45 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::span<const double> upper_bounds) {
   {
-    std::shared_lock lock(mu_);
+    SharedMutexReadLock lock(mu_);
     if (const auto it = histograms_.find(name); it != histograms_.end()) {
       return *it->second;
     }
   }
-  std::unique_lock lock(mu_);
+  SharedMutexWriteLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(upper_bounds);
   return *slot;
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second.get() : nullptr;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   const auto it = gauges_.find(name);
   return it != gauges_.end() ? it->second.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 void MetricsRegistry::reset() {
-  std::unique_lock lock(mu_);
+  SharedMutexWriteLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -213,7 +213,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -257,7 +257,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  std::shared_lock lock(mu_);
+  SharedMutexReadLock lock(mu_);
   os << "kind,name,field,value\n";
   for (const auto& [name, c] : counters_) {
     os << "counter," << name << ",value," << c->value() << "\n";

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
+
 #ifndef RRF_OBS_COMPILED_IN
 #define RRF_OBS_COMPILED_IN 1
 #endif
@@ -139,10 +141,13 @@ class MetricsRegistry {
   void write_csv(std::ostream& os) const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The maps are guarded; the pointed-to instruments are all-atomic and
+  // deliberately not (hot sites bump them lock-free via stable refs).
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// The process-global registry instrumentation sites write to.

@@ -155,7 +155,7 @@ OpsHub::OpsHub(Config config)
 void OpsHub::publish_round(const RoundSummary& summary) {
   std::string line = round_summary_to_json(summary).dump();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     lines_.push_back(std::move(line));
     while (lines_.size() > config_.ring_capacity) {
       lines_.pop_front();
@@ -169,27 +169,27 @@ void OpsHub::publish_round(const RoundSummary& summary) {
 }
 
 void OpsHub::set_alerts_json(std::string body) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   alerts_json_ = std::move(body);
 }
 
 std::string OpsHub::alerts_json() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return alerts_json_;
 }
 
 std::uint64_t OpsHub::rounds_published() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return rounds_;
 }
 
 std::uint64_t OpsHub::oldest_seq() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return base_seq_;
 }
 
 std::uint64_t OpsHub::next_seq() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return base_seq_ + lines_.size();
 }
 
@@ -197,9 +197,13 @@ std::size_t OpsHub::wait_lines(std::uint64_t* cursor,
                                std::vector<std::string>* out,
                                std::chrono::milliseconds timeout,
                                std::uint64_t* dropped) const {
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, timeout,
-               [&] { return base_seq_ + lines_.size() > *cursor; });
+  MutexLock lock(mu_);
+  // The wait predicate runs under mu_ but from a lambda the analysis
+  // cannot see through; assert_held() marks the boundary.
+  cv_.wait_for(lock, timeout, [&] {
+    mu_.assert_held();
+    return base_seq_ + lines_.size() > *cursor;
+  });
   if (*cursor < base_seq_) {
     if (dropped != nullptr) *dropped += base_seq_ - *cursor;
     *cursor = base_seq_;
@@ -214,7 +218,7 @@ std::size_t OpsHub::wait_lines(std::uint64_t* cursor,
 }
 
 double OpsHub::seconds_since_round() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!any_round_) return std::numeric_limits<double>::infinity();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        last_round_)

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "common/json.hpp"
 #include "obs/trace.hpp"  // Phase, kPhaseCount
 
@@ -127,14 +128,15 @@ class OpsHub {
 
  private:
   Config config_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::deque<std::string> lines_;
-  std::uint64_t base_seq_{0};
-  std::uint64_t rounds_{0};
-  std::string alerts_json_;
-  bool any_round_{false};
-  std::chrono::steady_clock::time_point last_round_{};
+  mutable InstrumentedMutex mu_{"ops.hub"};
+  mutable std::condition_variable_any cv_;
+  std::deque<std::string> lines_ GUARDED_BY(mu_);
+  /// Sequence number of lines_.front(); advances as the ring drops.
+  std::uint64_t base_seq_ GUARDED_BY(mu_){0};
+  std::uint64_t rounds_ GUARDED_BY(mu_){0};
+  std::string alerts_json_ GUARDED_BY(mu_);
+  bool any_round_ GUARDED_BY(mu_){false};
+  std::chrono::steady_clock::time_point last_round_ GUARDED_BY(mu_){};
 };
 
 }  // namespace rrf::obs

@@ -135,10 +135,15 @@ struct PoolStats {
 /// Process-wide profiler state.  Heap-allocated and never destroyed so
 /// thread_local arena handles can outlive any static destruction order.
 struct Registry {
-  std::mutex mu;  ///< arenas vector + thread names
-  std::vector<std::shared_ptr<ThreadArena>> arenas;
-  std::mutex contention_mu;  ///< contended-lock table (cold path only)
-  std::map<std::string, ContentionStats> contention;
+  // Both mutexes are hook-free AnnotatedMutex on purpose: the profiler
+  // aggregates the contention hook's reports, so its own locks must
+  // never fire that hook (record_mutex_contention would re-enter the
+  // very lock it is reporting and deadlock on contention_mu).
+  AnnotatedMutex mu;  ///< arenas vector + thread names
+  std::vector<std::shared_ptr<ThreadArena>> arenas GUARDED_BY(mu);
+  AnnotatedMutex contention_mu;  ///< contended-lock table (cold path only)
+  std::map<std::string, ContentionStats> contention
+      GUARDED_BY(contention_mu);
   PoolStats pool;
 };
 
@@ -163,7 +168,7 @@ ThreadArena* tl_arena() {
     arena->tid = os_thread_id();
     {
       Registry& reg = registry();
-      std::lock_guard lock(reg.mu);
+      MutexLock lock(reg.mu);
       reg.arenas.push_back(arena);
     }
     tl_handle.arena = std::move(arena);
@@ -183,7 +188,7 @@ void note_alloc(std::size_t size) noexcept {
 
 void record_mutex_contention(const char* site, std::uint64_t blocked_ns) {
   Registry& reg = registry();
-  std::lock_guard lock(reg.contention_mu);
+  MutexLock lock(reg.contention_mu);
   ContentionStats& stats = reg.contention[site];
   ++stats.contended;
   stats.blocked_ns += static_cast<std::int64_t>(blocked_ns);
@@ -391,7 +396,9 @@ std::int32_t os_thread_id() {
 
 void set_thread_name(std::string name) {
   ThreadArena* arena = tl_arena();
-  std::lock_guard lock(registry().mu);
+  // arena->name is guarded by registry().mu by convention (the arena
+  // struct cannot name the registry in a GUARDED_BY attribute).
+  MutexLock lock(registry().mu);
   arena->name = std::move(name);
 }
 
@@ -443,7 +450,7 @@ ProfileSnapshot profile_snapshot() {
   Registry& reg = registry();
   std::vector<std::pair<std::shared_ptr<ThreadArena>, std::string>> arenas;
   {
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     arenas.reserve(reg.arenas.size());
     for (const auto& arena : reg.arenas) {
       arenas.emplace_back(arena, arena->name);
@@ -474,7 +481,7 @@ ProfileSnapshot profile_snapshot() {
   flatten_merge(pool, roots, -1, 0, &snap.merged);
 
   {
-    std::lock_guard lock(reg.contention_mu);
+    MutexLock lock(reg.contention_mu);
     snap.contention.reserve(reg.contention.size());
     for (const auto& [site, stats] : reg.contention) {
       snap.contention.push_back(
@@ -505,7 +512,7 @@ ProfileSnapshot profile_snapshot() {
 void profile_reset() {
   Registry& reg = registry();
   {
-    std::lock_guard lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (const auto& arena : reg.arenas) {
       const std::int32_t count =
           arena->count.load(std::memory_order_acquire);
@@ -518,7 +525,7 @@ void profile_reset() {
     }
   }
   {
-    std::lock_guard lock(reg.contention_mu);
+    MutexLock lock(reg.contention_mu);
     reg.contention.clear();
   }
   reg.pool.reset();
@@ -633,7 +640,7 @@ void publish_profile_metrics(MetricsRegistry& registry_ref,
 
 std::vector<std::pair<std::int32_t, std::string>> profiled_thread_names() {
   Registry& reg = registry();
-  std::lock_guard lock(reg.mu);
+  MutexLock lock(reg.mu);
   std::vector<std::pair<std::int32_t, std::string>> out;
   out.reserve(reg.arenas.size());
   for (const auto& arena : reg.arenas) {

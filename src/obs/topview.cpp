@@ -56,7 +56,7 @@ void Feed::push_line(const std::string& line) {
   if (tag == nullptr || !tag->is_string()) return;
   if (tag->as_string() == "gap") {
     const json::Value* dropped = value.find("dropped");
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     if (dropped != nullptr && dropped->is_number()) {
       gap_dropped += static_cast<std::uint64_t>(dropped->as_number());
     }
@@ -69,7 +69,7 @@ void Feed::push_line(const std::string& line) {
   } catch (...) {
     return;
   }
-  std::lock_guard lock(mu);
+  MutexLock lock(mu);
   history.push_back(std::move(summary));
   while (history.size() > window_limit) history.pop_front();
   ++rounds_seen;
@@ -262,7 +262,7 @@ std::string render_frame(Feed& feed, const std::string& endpoint,
                          const std::string& alerts_body,
                          const std::string& profile_body,
                          const std::string& incidents_body) {
-  std::lock_guard lock(feed.mu);
+  MutexLock lock(feed.mu);
   std::ostringstream out;
   out << "rrf_top — " << endpoint;
   if (feed.history.empty()) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/instrumented_mutex.hpp"
 #include "obs/ops.hpp"
 
 namespace rrf::obs::top {
@@ -35,13 +36,15 @@ bool dechunk(std::string* raw, std::string* body);
 
 /// Shared state fed by the /rounds reader thread.
 struct Feed {
-  std::mutex mu;
-  std::deque<RoundSummary> history;  ///< bounded to `window_limit`
+  AnnotatedMutex mu;
+  std::deque<RoundSummary> history GUARDED_BY(mu);  ///< bounded to
+                                                    ///  `window_limit`
+  /// Set once before the reader thread starts; read-only afterwards.
   std::size_t window_limit{60};
-  std::uint64_t rounds_seen{0};
-  std::uint64_t gap_dropped{0};
+  std::uint64_t rounds_seen GUARDED_BY(mu){0};
+  std::uint64_t gap_dropped GUARDED_BY(mu){0};
   /// Wall arrival times of recent rounds, for the allocs/sec estimate.
-  std::deque<std::chrono::steady_clock::time_point> arrivals;
+  std::deque<std::chrono::steady_clock::time_point> arrivals GUARDED_BY(mu);
   std::atomic<bool> disconnected{false};
 
   /// Ingests one NDJSON line from /rounds: "round" records extend the

@@ -66,7 +66,7 @@ double EventTracer::to_us(std::chrono::steady_clock::time_point tp) const {
 void EventTracer::record(TraceEvent e) {
   if (e.ts_us < 0.0) e.ts_us = now_us();
   if (e.tid < 0) e.tid = os_thread_id();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -77,17 +77,17 @@ void EventTracer::record(TraceEvent e) {
 }
 
 std::uint64_t EventTracer::recorded() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t EventTracer::dropped() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ - ring_.size();
 }
 
 std::vector<TraceEvent> EventTracer::events() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -102,7 +102,7 @@ std::vector<TraceEvent> EventTracer::events() const {
 }
 
 void EventTracer::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;

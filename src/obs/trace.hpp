@@ -101,9 +101,10 @@ class EventTracer {
  private:
   const std::size_t capacity_;
   mutable InstrumentedMutex mu_{"tracer.ring"};
-  std::vector<TraceEvent> ring_;
-  std::size_t next_{0};        ///< ring slot the next event lands in
-  std::uint64_t recorded_{0};
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  /// Ring slot the next event lands in.
+  std::size_t next_ GUARDED_BY(mu_){0};
+  std::uint64_t recorded_ GUARDED_BY(mu_){0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

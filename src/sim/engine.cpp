@@ -132,6 +132,10 @@ struct NodeState {
   // the merge walks the nodes in ascending order.
   std::vector<ResourceVector> slot_demand_shares;
   std::vector<double> slot_score;
+  /// Surplus-pass outputs and ordering scratch for weighted_max_min_into
+  /// (the per-round surplus water-fill must not heap-allocate).
+  std::vector<double> surplus_extra;
+  std::vector<std::size_t> wmm_order;
 
   double& phase_accum(obs::Phase phase) {
     return phase_seconds[static_cast<std::size_t>(phase)];
@@ -200,6 +204,8 @@ void refresh_alloc_cache(NodeState& node, const ResourceVector& host_capacity,
   node.node_lambda.assign(tenant_count, 0.0);
   node.slot_demand_shares.assign(n, ResourceVector(kDefaultResourceCount));
   node.slot_score.assign(n, 0.0);
+  node.surplus_extra.assign(n, 0.0);
+  node.wmm_order.reserve(n);
   node.entitlement_shares.assign(n, ResourceVector(kDefaultResourceCount));
   node.actual_demand.assign(n, ResourceVector(kDefaultResourceCount));
 }
@@ -703,6 +709,7 @@ SimResult run_simulation(const Scenario& scenario,
         obs::PhaseScope predict_phase(obs::Phase::kPredict, node_id,
                                       window_id,
                                       &node.phase_accum(obs::Phase::kPredict));
+        // rrf-hot-path: begin(engine.predict)
         for (std::size_t i = 0; i < n; ++i) {
           const VmSlot& slot = node.slots[i];
           node.actual_demand[i] = demands[slot.tenant][slot.vm];
@@ -716,6 +723,7 @@ SimResult run_simulation(const Scenario& scenario,
           }
           node.demand_shares[i] = pricing.shares_for(forecast);
         }
+        // rrf-hot-path: end(engine.predict)
       }
 
       // The sharing policy arbitrates the pool the tenants collectively
@@ -735,6 +743,7 @@ SimResult run_simulation(const Scenario& scenario,
                               &node.node_lambda);
       }
       if (config.policy != PolicyKind::kTshirt) {
+        // rrf-hot-path: begin(engine.surplus)
         // Work-conserving surplus pass: physical capacity *nobody paid
         // for* flows to VMs with residual demand in proportion to their
         // shares.  Capacity the policy deliberately withheld inside the
@@ -750,12 +759,13 @@ SimResult run_simulation(const Scenario& scenario,
           }
           const double surplus = node.capacity_shares[k] - pool[k];
           if (surplus <= 0.0) continue;
-          const std::vector<double> extra =
-              alloc::weighted_max_min(surplus, node.residual, node.weights);
+          alloc::weighted_max_min_into(surplus, node.residual, node.weights,
+                                       node.surplus_extra, node.wmm_order);
           for (std::size_t i = 0; i < n; ++i) {
-            node.entitlement_shares[i][k] += extra[i];
+            node.entitlement_shares[i][k] += node.surplus_extra[i];
           }
         }
+        // rrf-hot-path: end(engine.surplus)
       }
       if (contract::armed()) {
         // Physical safety: the policy arbitrates the sold pool and the
@@ -801,6 +811,7 @@ SimResult run_simulation(const Scenario& scenario,
       // ---- settle: predictor updates, economic ledger, aggregation ----
       obs::PhaseScope settle_phase(obs::Phase::kSettle, node_id, window_id,
                                    &node.phase_accum(obs::Phase::kSettle));
+      // rrf-hot-path: begin(engine.settle)
       for (std::size_t i = 0; i < n; ++i) {
         node.slots[i].predictor.observe(node.actual_demand[i]);
         // Demand EMA for the rebalancer.
@@ -892,6 +903,7 @@ SimResult run_simulation(const Scenario& scenario,
         }
         node.slot_score[i] = score;
       }
+      // rrf-hot-path: end(engine.settle)
       settle_phase.stop();
 
       if (flight_on) {
@@ -930,6 +942,7 @@ SimResult run_simulation(const Scenario& scenario,
     // acquisition order was node order too.
     {
       obs::ProfileScope exchange_profile("window.exchange");
+      // rrf-hot-path: begin(engine.merge)
       for (std::size_t h = 0; h < host_count; ++h) {
         NodeState& node = nodes[h];
         const std::size_t n = node.slots.size();
@@ -951,6 +964,7 @@ SimResult run_simulation(const Scenario& scenario,
           used_total += node.realized[i] * config.window;
         }
       }
+      // rrf-hot-path: end(engine.merge)
     }
 
     // ---- window tail: per-tenant roll-ups and observer fan-out ----

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/instrumented_mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
@@ -43,11 +44,12 @@ std::size_t ShardPlan::shard_of(std::size_t node) const {
 const char* shard_site(std::size_t index) {
   // ProfileScope stores the pointer forever, so entries live in a deque
   // (stable addresses) guarded by a mutex; the hot path hits this once
-  // per shard per round, not per node.
-  static std::mutex mu;
-  static std::deque<std::string> store;
-  static std::vector<const char*> cache;
-  std::lock_guard lock(mu);
+  // per shard per round, not per node.  Hook-free: this runs under the
+  // profiler whose contention hook must not re-enter.
+  static AnnotatedMutex mu;
+  static std::deque<std::string> store GUARDED_BY(mu);
+  static std::vector<const char*> cache GUARDED_BY(mu);
+  MutexLock lock(mu);
   while (cache.size() <= index) {
     store.push_back("shard." + std::to_string(cache.size()));
     cache.push_back(store.back().c_str());

@@ -95,6 +95,11 @@ class ShardExecutor {
 
  private:
   ShardPlan plan_;
+  /// Partitioned, not mutex-guarded: stats_[s] is written only by shard
+  /// s's single pool task during run_round() (which barriers before
+  /// returning) and read only between rounds on the caller thread, so
+  /// there is no concurrent access to annotate — the same discipline
+  /// NodeState's per-round scratch follows in sim/engine.cpp.
   std::vector<ShardStats> stats_;
 };
 
